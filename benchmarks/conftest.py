@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one experiment harness exactly once (they are
+full solver campaigns, not microkernels), prints the reproduction table
+next to the paper's reference values, and asserts the qualitative
+claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ReproTable
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment once and verify its claims."""
+
+    def _run(fn, /, **kwargs) -> ReproTable:
+        table = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        table.print()
+        assert table.all_claims_hold, f"failed claims: {table.failed_claims()}"
+        return table
+
+    return _run

@@ -1,0 +1,7 @@
+"""Ablation: two-level coarse correction vs pure localization."""
+
+from repro.experiments import ablation_twolevel
+
+
+def test_ablation_twolevel(run_experiment):
+    run_experiment(ablation_twolevel.run, scale=0.8, domain_counts=(2, 4, 8, 16))

@@ -1,0 +1,7 @@
+"""Fig. 2: penalty vs NR-cycles / linear-iterations trade-off."""
+
+from repro.experiments import fig02_penalty_tradeoff
+
+
+def test_fig02_penalty_tradeoff(run_experiment):
+    run_experiment(fig02_penalty_tradeoff.run, scale=0.6)

@@ -1,0 +1,7 @@
+"""Fig. 5: work ratio for fixed per-PE problem sizes (SR2201 model)."""
+
+from repro.experiments import fig05_work_ratio
+
+
+def test_fig05_work_ratio(run_experiment):
+    run_experiment(fig05_work_ratio.run)

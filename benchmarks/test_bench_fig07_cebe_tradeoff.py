@@ -1,0 +1,7 @@
+"""Fig. 7: CEBE cluster-size trade-off."""
+
+from repro.experiments import fig07_cebe_tradeoff
+
+
+def test_fig07_cebe_tradeoff(run_experiment):
+    run_experiment(fig07_cebe_tradeoff.run, scale=0.8, cluster_sizes=(1, 2, 4, 8, 16))

@@ -1,0 +1,7 @@
+"""Fig. 15: PDJDS vs PDCRS vs CRS storage on one ES node."""
+
+from repro.experiments import fig15_storage_formats
+
+
+def test_fig15_storage_formats(run_experiment):
+    run_experiment(fig15_storage_formats.run)

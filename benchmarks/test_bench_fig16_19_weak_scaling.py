@@ -1,0 +1,11 @@
+"""Figs. 16-19: weak scaling, hybrid vs flat MPI."""
+
+from repro.experiments import fig16_19_weak_scaling
+
+
+def test_fig16_18_gflops(run_experiment):
+    run_experiment(fig16_19_weak_scaling.run_gflops)
+
+
+def test_fig19_iterations(run_experiment):
+    run_experiment(fig16_19_weak_scaling.run_iterations, n=10, node_counts=(1, 2, 4, 8))

@@ -1,0 +1,7 @@
+"""Fig. 20: compute / latency / bandwidth fractions to 5120 PEs."""
+
+from repro.experiments import fig20_latency_fractions
+
+
+def test_fig20_latency_fractions(run_experiment):
+    run_experiment(fig20_latency_fractions.run)

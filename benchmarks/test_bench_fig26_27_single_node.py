@@ -1,0 +1,11 @@
+"""Figs. 26/27: SB-BIC(0) color sweep on one SMP node."""
+
+from repro.experiments import fig26_27_single_node
+
+
+def test_fig26_simple_block(run_experiment):
+    run_experiment(fig26_27_single_node.run, model="block", scale=0.9, colors=(2, 5, 10, 20, 40))
+
+
+def test_fig27_southwest_japan(run_experiment):
+    run_experiment(fig26_27_single_node.run, model="swjapan", scale=0.9, colors=(2, 5, 10, 20, 40))

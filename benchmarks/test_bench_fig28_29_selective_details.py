@@ -1,0 +1,15 @@
+"""Figs. 28/29: block-size sorting effect; imbalance and dummy padding."""
+
+from repro.experiments import fig28_29_selective_details
+
+
+def test_fig28_blocksort_block(run_experiment):
+    run_experiment(fig28_29_selective_details.run_blocksort, model="block", scale=0.9)
+
+
+def test_fig28_blocksort_swjapan(run_experiment):
+    run_experiment(fig28_29_selective_details.run_blocksort, model="swjapan", scale=0.9)
+
+
+def test_fig29_imbalance_dummy(run_experiment):
+    run_experiment(fig28_29_selective_details.run_imbalance, model="block", scale=0.9)

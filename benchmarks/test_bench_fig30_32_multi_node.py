@@ -1,0 +1,15 @@
+"""Figs. 30-32: multi-node color sweep and speed-up study."""
+
+from repro.experiments import fig30_32_multi_node
+
+
+def test_fig30_ten_node_color_sweep(run_experiment):
+    run_experiment(fig30_32_multi_node.run_ten_nodes, model="block", scale=0.8, colors=(2, 10, 40), nodes=4)
+
+
+def test_fig31_swjapan_color_sweep(run_experiment):
+    run_experiment(fig30_32_multi_node.run_ten_nodes, model="swjapan", scale=0.8, colors=(2, 10, 40), nodes=4)
+
+
+def test_fig32_speedup_13_vs_30_colors(run_experiment):
+    run_experiment(fig30_32_multi_node.run_speedup, model="block", scale=0.8, color_cases=(13, 30), node_counts=(1, 2, 4, 8))

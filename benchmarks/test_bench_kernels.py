@@ -1,0 +1,68 @@
+"""Microbenchmarks of the solver's hot kernels (pytest-benchmark proper).
+
+Unlike the experiment benchmarks (full solver campaigns, run once),
+these measure the repeated inner kernels with real statistics: the BSR
+matvec, the color-wise batched preconditioner application, the
+factorization set-up, and the full CG solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+from repro.precond import bic, sb_bic0
+from repro.solvers.cg import cg_solve
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_contact_problem(simple_block_model(6, 6, 4, 6, 6), penalty=1e6)
+
+
+@pytest.fixture(scope="module")
+def sb_precond(problem):
+    return sb_bic0(problem.a, problem.groups)
+
+
+def test_bench_bsr_matvec(benchmark, problem):
+    bsr = problem.a_bcsr.to_bsr()
+    x = np.random.default_rng(0).normal(size=problem.ndof)
+    benchmark(lambda: bsr @ x)
+
+
+def test_bench_csr_matvec(benchmark, problem):
+    x = np.random.default_rng(0).normal(size=problem.ndof)
+    benchmark(lambda: problem.a @ x)
+
+
+def test_bench_sbbic_apply(benchmark, problem, sb_precond):
+    r = np.random.default_rng(1).normal(size=problem.ndof)
+    benchmark(sb_precond.apply, r)
+
+
+def test_bench_bic0_apply(benchmark, problem):
+    m = bic(problem.a, fill_level=0)
+    r = np.random.default_rng(2).normal(size=problem.ndof)
+    benchmark(m.apply, r)
+
+
+def test_bench_sbbic_setup(benchmark, problem):
+    benchmark.pedantic(
+        lambda: sb_bic0(problem.a, problem.groups), rounds=3, iterations=1
+    )
+
+
+def test_bench_bic1_setup(benchmark, problem):
+    benchmark.pedantic(
+        lambda: bic(problem.a, fill_level=1), rounds=2, iterations=1
+    )
+
+
+def test_bench_full_sbbic_solve(benchmark, problem, sb_precond):
+    result = benchmark.pedantic(
+        lambda: cg_solve(problem.a, problem.b, sb_precond),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.converged

@@ -1,0 +1,7 @@
+"""Smooth-convergence profile of SB-BIC(0) vs BIC(0)."""
+
+from repro.experiments import smooth_convergence
+
+
+def test_smooth_convergence(run_experiment):
+    run_experiment(smooth_convergence.run, scale=0.9)

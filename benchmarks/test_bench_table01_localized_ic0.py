@@ -1,0 +1,7 @@
+"""Table 1: localized IC(0) iteration growth and SR2201 speed-up."""
+
+from repro.experiments import table01_localized_ic0
+
+
+def test_table01_localized_ic0(run_experiment):
+    run_experiment(table01_localized_ic0.run, n=12, pe_counts=(1, 2, 4, 8, 16, 32))

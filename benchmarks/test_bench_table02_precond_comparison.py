@@ -1,0 +1,7 @@
+"""Table 2: the headline preconditioner comparison (single PE)."""
+
+from repro.experiments import table02_precond_comparison
+
+
+def test_table02_precond_comparison(run_experiment):
+    run_experiment(table02_precond_comparison.run, scale=0.9)

@@ -1,0 +1,7 @@
+"""Table 3: ORIGINAL vs IMPROVED (contact-aware) partitioning."""
+
+from repro.experiments import table03_partitioning
+
+
+def test_table03_partitioning(run_experiment):
+    run_experiment(table03_partitioning.run, scale=0.8, ndomains=8)

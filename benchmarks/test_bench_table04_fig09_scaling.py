@@ -1,0 +1,7 @@
+"""Table 4 / Fig. 9: preconditioner scaling across PE counts."""
+
+from repro.experiments import table04_fig09_scaling
+
+
+def test_table04_fig09_scaling(run_experiment):
+    run_experiment(table04_fig09_scaling.run, scale=0.8, pe_counts=(2, 4, 8, 16))

@@ -1,0 +1,11 @@
+"""Appendix A: spectra of M^-1 A across the penalty sweep."""
+
+from repro.experiments import tableA_eigen
+
+
+def test_tableA12_simple_block(run_experiment):
+    run_experiment(tableA_eigen.run, model="block", scale=0.5)
+
+
+def test_tableA34_southwest_japan(run_experiment):
+    run_experiment(tableA_eigen.run, model="swjapan", scale=0.5)

@@ -1,0 +1,51 @@
+"""Preconditioner study on the simple block contact model (Table 2 / Appendix A).
+
+Sweeps the penalty parameter and compares every preconditioner of the
+paper: iterations, time, memory, and the spectral condition number of
+the preconditioned operator — the full robustness story.
+
+Run:  python examples/contact_block_model.py
+"""
+
+from repro import bic, build_contact_problem, cg_solve, sb_bic0, scalar_ic0, simple_block_model
+from repro.analysis import preconditioned_spectrum
+from repro.precond import DiagonalScaling
+
+
+def main() -> None:
+    mesh = simple_block_model(4, 4, 3, 4, 4)
+    print(f"simple block model: {mesh.n_nodes} nodes / {3*mesh.n_nodes} DOF")
+    header = f"{'preconditioner':14s} {'lambda':>8s} {'iters':>6s} {'total_s':>8s} {'mem_MB':>7s} {'kappa(M^-1 A)':>14s}"
+    print(header)
+    print("-" * len(header))
+
+    for lam in (1e2, 1e6, 1e10):
+        problem = build_contact_problem(mesh, penalty=lam)
+        methods = [
+            ("Diagonal", DiagonalScaling(problem.a)),
+            ("IC(0) scalar", scalar_ic0(problem.a)),
+            ("BIC(0)", bic(problem.a, fill_level=0)),
+            ("BIC(1)", bic(problem.a, fill_level=1)),
+            ("SB-BIC(0)", sb_bic0(problem.a, problem.groups)),
+        ]
+        for name, m in methods:
+            res = cg_solve(problem.a, problem.b, m, max_iter=20000)
+            iters = str(res.iterations) if res.converged else "FAIL"
+            kappa = ""
+            if name in ("BIC(0)", "BIC(1)", "SB-BIC(0)"):
+                s = preconditioned_spectrum(problem.a, m, dense_threshold=1500)
+                kappa = f"{s.kappa:14.3e}"
+            print(
+                f"{name:14s} {lam:8.0e} {iters:>6s} {res.total_seconds:8.2f} "
+                f"{m.memory_bytes()/1e6:7.2f} {kappa:>14s}"
+            )
+        print()
+
+    print("observations matching the paper:")
+    print(" - SB-BIC(0) iterations and kappa are independent of lambda")
+    print(" - BIC(0) kappa grows like lambda; iterations blow up")
+    print(" - SB-BIC(0) memory ~ BIC(0), far below BIC(1)")
+
+
+if __name__ == "__main__":
+    main()

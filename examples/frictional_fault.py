@@ -1,0 +1,54 @@
+"""Frictional fault slip with nonsymmetric solvers — future-work extension.
+
+The paper treats frictionless contact (SPD -> CG).  This example engages
+the Coulomb friction extension: a tangentially loaded fault where part
+of the interface slips, producing a nonsymmetric tangent solved with
+BiCGSTAB, and recovers the fault stress accumulation that motivates the
+whole GeoFEM application.
+
+Run:  python examples/frictional_fault.py
+"""
+
+import numpy as np
+
+from repro import fault_stress_accumulation, simple_block_model, von_mises
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import all_dofs, apply_dirichlet, surface_load
+from repro.fem.friction import solve_frictional_contact
+from repro.fem.postprocess import element_stresses
+from repro.precond import bic
+
+
+def main() -> None:
+    mesh = simple_block_model(4, 4, 3, 4, 4)
+    k = assemble_stiffness(mesh)
+    # oblique surface load: compresses the fault and shears it sideways
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.5, 0.0, -1.0]))
+    a_free, b = apply_dirichlet(k.to_csr(), f, all_dofs(mesh.node_sets["zmin"]))
+
+    print(f"model: {mesh.ndof} DOF, {len(mesh.contact_groups)} contact groups\n")
+    print(f"{'mu':>5s} {'outer':>6s} {'slipping pairs':>15s} {'mean BiCGSTAB iters':>20s}")
+    for mu in (0.1, 0.3, 0.6, 1.0):
+        res = solve_frictional_contact(
+            a_free, b, mesh, mu=mu, lam_n=1e5,
+            precond_factory=lambda a: bic(a, fill_level=0),
+        )
+        mean_it = np.mean(res.solver_iterations)
+        print(f"{mu:5.1f} {res.outer_iterations:>6d} "
+              f"{res.n_slipping:>7d}/{res.n_pairs:<7d} {mean_it:>20.1f}")
+
+    print("\nhigher friction locks more of the fault (fewer slipping pairs).")
+
+    res = solve_frictional_contact(
+        a_free, b, mesh, mu=0.3, lam_n=1e5,
+        precond_factory=lambda a: bic(a, fill_level=0),
+    )
+    vm = von_mises(element_stresses(mesh, res.u))
+    acc = fault_stress_accumulation(mesh, res.u)
+    print(f"\nvon Mises stress range: [{vm.min():.3f}, {vm.max():.3f}]")
+    print(f"fault stress accumulation: mean {acc.mean():.3f}, peak {acc.max():.3f}")
+    print("(the quantity GeoFEM's earthquake-cycle studies track, section 1.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Augmented-Lagrange contact and the Fig. 2 penalty trade-off.
+
+Solves tied fault contact by the ALM outer loop with CG inner solves
+and sweeps the penalty parameter: large penalties converge in few outer
+cycles but pay for it with ill-conditioned inner systems, and vice
+versa — the trade-off that motivates selective blocking.
+
+Run:  python examples/nonlinear_contact.py
+"""
+
+import numpy as np
+
+from repro import sb_bic0, simple_block_model, solve_nonlinear_contact
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import all_dofs, apply_dirichlet, component_dofs, surface_load
+
+
+def main() -> None:
+    mesh = simple_block_model(4, 4, 3, 4, 4)
+    k = assemble_stiffness(mesh)
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.0, 0.0, -1.0]))
+    fixed = np.unique(
+        np.concatenate(
+            [
+                all_dofs(mesh.node_sets["zmin"]),
+                component_dofs(mesh.node_sets["xmin"], 0),
+                component_dofs(mesh.node_sets["ymin"], 1),
+            ]
+        )
+    )
+    a_free, b = apply_dirichlet(k.to_csr(), f, fixed)
+    print(f"model: {mesh.ndof} DOF, {len(mesh.contact_groups)} tied contact groups\n")
+
+    print(f"{'penalty':>9s} {'outer cycles':>13s} {'CG/cycle':>9s} {'total CG':>9s}")
+    solutions = []
+    for lam in (1e1, 1e2, 1e3, 1e4, 1e5):
+        res = solve_nonlinear_contact(
+            a_free,
+            b,
+            mesh.contact_groups,
+            mesh.n_nodes,
+            penalty=lam,
+            precond_factory=lambda a: sb_bic0(a, mesh.contact_groups),
+            constraint_tol=1e-8,
+            max_cycles=300,
+        )
+        solutions.append(res.u)
+        mean_cg = res.total_cg_iterations / max(res.cycles, 1)
+        print(f"{lam:9.0e} {res.cycles:>13d} {mean_cg:>9.1f} {res.total_cg_iterations:>9d}")
+
+    print("\nFig. 2's trade-off: outer cycles fall with the penalty while the")
+    print("inner solver works harder; the converged displacement field is")
+    print("penalty-independent:")
+    drift = max(
+        float(np.abs(u - solutions[-1]).max()) for u in solutions[:-1]
+    )
+    print(f"max difference between solutions across penalties: {drift:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Distributed solve: partitioning strategy and the localized preconditioner.
+
+Reproduces the paper's parallelization story end to end on the emulated
+communicator: node-based partitioning with communication tables, the
+contact-aware repartitioner of Fig. 8, and the lockstep parallel CG —
+showing how badly a contact-oblivious partitioning hurts convergence
+(Table 3) and how iteration counts grow slowly with domain count
+(Table 1 behaviour).
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro import (
+    DistributedSystem,
+    build_contact_problem,
+    contact_aware_partition,
+    parallel_cg,
+    partition_nodes_rcb,
+    sb_bic0,
+    simple_block_model,
+)
+from repro.parallel.contact_partition import partition_quality
+from repro.precond.localized import restrict_groups
+
+
+def main() -> None:
+    mesh = simple_block_model(5, 5, 3, 5, 5)
+    problem = build_contact_problem(mesh, penalty=1e6)
+    print(f"model: {mesh.n_nodes} nodes / {problem.ndof} DOF, "
+          f"{len(mesh.contact_groups)} contact groups\n")
+
+    def factory(sub, nodes):
+        groups = restrict_groups(mesh.contact_groups, nodes, mesh.n_nodes)
+        return sb_bic0(sub, groups)
+
+    print("--- partitioning strategy at 8 domains (Table 3 / Fig. 8) ---")
+    for label, part in [
+        ("ORIGINAL (geometric RCB)", partition_nodes_rcb(mesh.coords, 8)),
+        ("IMPROVED (contact-aware)", contact_aware_partition(mesh.coords, mesh.contact_groups, 8)),
+    ]:
+        q = partition_quality(part, mesh.contact_groups)
+        system = DistributedSystem.from_global(problem.a, problem.b, part, factory)
+        res = parallel_cg(system, max_iter=30000)
+        print(f"{label}:")
+        print(f"  cut contact groups: {int(q['cut_groups'])}/{int(q['total_groups'])}, "
+              f"imbalance {q['imbalance_percent']:.1f}%")
+        print(f"  CG iterations: {res.iterations}  "
+              f"(messages {system.comm_log.n_messages}, "
+              f"{system.comm_log.bytes_sent/1e6:.2f} MB exchanged)")
+
+    print("\n--- iteration growth with domain count (localized precond.) ---")
+    print(f"{'domains':>8s} {'iterations':>11s} {'neighbors(max)':>15s}")
+    for nd in (2, 4, 8, 16):
+        part = contact_aware_partition(mesh.coords, mesh.contact_groups, nd)
+        system = DistributedSystem.from_global(problem.a, problem.b, part, factory)
+        res = parallel_cg(system, max_iter=30000)
+        print(f"{nd:>8d} {res.iterations:>11d} {system.comm_log.max_neighbor_count:>15d}")
+
+    print("\niterations grow only mildly with domain count — the paper's")
+    print("localized preconditioning result (Table 1: +30% from 1 to 32 PEs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: solve a fault-contact problem with SB-BIC(0).
+
+Builds the paper's Fig. 23 simple block model (scaled down), assembles
+the penalty-constrained elastic system, and solves it with CG under the
+selective blocking preconditioner — then shows why selective blocking
+matters by comparing against plain block IC(0) at a large penalty.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import bic, build_contact_problem, cg_solve, sb_bic0, simple_block_model
+
+
+def main() -> None:
+    # Fig. 23 geometry: one bottom block carrying two top blocks; the
+    # coincident interface nodes form the contact groups.
+    mesh = simple_block_model(nx1=6, nx2=6, ny=4, nz1=6, nz2=6)
+    print(f"mesh: {mesh.n_nodes} nodes, {mesh.n_elem} elements, "
+          f"{len(mesh.contact_groups)} contact groups")
+
+    # Penalty lambda = 1e6 ties the contact groups together — and makes
+    # the matrix badly conditioned, which is the problem the paper solves.
+    problem = build_contact_problem(mesh, penalty=1e6)
+
+    print("\nSB-BIC(0): selective blocking — contact groups become dense")
+    print("blocks factored exactly inside the preconditioner")
+    m_sb = sb_bic0(problem.a, problem.groups)
+    res_sb = cg_solve(problem.a, problem.b, m_sb)
+    print(f"  {res_sb}")
+
+    print("\nBIC(0): ordinary 3x3 block IC, no selective blocking")
+    m_b0 = bic(problem.a, fill_level=0)
+    res_b0 = cg_solve(problem.a, problem.b, m_b0)
+    print(f"  {res_b0}")
+
+    speedup = res_b0.iterations / max(res_sb.iterations, 1)
+    print(f"\nselective blocking converged {speedup:.1f}x faster in iterations")
+    print(f"memory: SB-BIC(0) {m_sb.memory_bytes()/1e6:.2f} MB vs "
+          f"BIC(0) {m_b0.memory_bytes()/1e6:.2f} MB (nearly the same)")
+
+    # both give the same displacement field
+    assert np.allclose(res_sb.x, res_b0.x, atol=1e-5 * np.abs(res_sb.x).max())
+    top = mesh.node_sets["zmax"]
+    uz = res_sb.x.reshape(-1, 3)[top, 2]
+    print(f"max settlement of the loaded surface: {uz.min():.4f}")
+
+
+if __name__ == "__main__":
+    main()

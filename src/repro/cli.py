@@ -1,0 +1,144 @@
+"""Command-line interface: run experiments and quick solves.
+
+::
+
+    python -m repro list
+    python -m repro run table02 --scale 0.8
+    python -m repro solve --model block --penalty 1e6 --precond sbbic0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablation_twolevel,
+    smooth_convergence,
+    fig02_penalty_tradeoff,
+    fig05_work_ratio,
+    fig07_cebe_tradeoff,
+    fig15_storage_formats,
+    fig16_19_weak_scaling,
+    fig20_latency_fractions,
+    fig26_27_single_node,
+    fig28_29_selective_details,
+    fig30_32_multi_node,
+    table01_localized_ic0,
+    table02_precond_comparison,
+    table03_partitioning,
+    table04_fig09_scaling,
+    tableA_eigen,
+)
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig02": ("ALM penalty trade-off", lambda scale: fig02_penalty_tradeoff.run(scale=scale)),
+    "table01": ("localized IC(0), 1-32 PEs", lambda scale: table01_localized_ic0.run()),
+    "fig05": ("work ratio, fixed size/PE", lambda scale: fig05_work_ratio.run()),
+    "table02": ("preconditioner comparison", lambda scale: table02_precond_comparison.run(scale=scale)),
+    "table03": ("partitioning strategies", lambda scale: table03_partitioning.run(scale=scale)),
+    "table04": ("preconditioner scaling", lambda scale: table04_fig09_scaling.run(scale=scale)),
+    "fig07": ("CEBE cluster trade-off", lambda scale: fig07_cebe_tradeoff.run(scale=scale)),
+    "fig15": ("storage formats", lambda scale: fig15_storage_formats.run()),
+    "fig16-18": ("weak scaling GFLOPS", lambda scale: fig16_19_weak_scaling.run_gflops()),
+    "fig19": ("hybrid vs flat iterations", lambda scale: fig16_19_weak_scaling.run_iterations()),
+    "fig20": ("latency fractions", lambda scale: fig20_latency_fractions.run()),
+    "fig26": ("color sweep, block model", lambda scale: fig26_27_single_node.run("block", scale=scale)),
+    "fig27": ("color sweep, SW Japan", lambda scale: fig26_27_single_node.run("swjapan", scale=scale)),
+    "fig28": ("block-size sorting", lambda scale: fig28_29_selective_details.run_blocksort(scale=scale)),
+    "fig29": ("imbalance + dummies", lambda scale: fig28_29_selective_details.run_imbalance(scale=scale)),
+    "fig30": ("multi-node color sweep", lambda scale: fig30_32_multi_node.run_ten_nodes(scale=scale, nodes=4)),
+    "fig32": ("speed-up, 13 vs 30 colors", lambda scale: fig30_32_multi_node.run_speedup(scale=scale)),
+    "tableA": ("eigenvalue analysis", lambda scale: tableA_eigen.run(scale=scale)),
+    "smooth": (
+        "convergence smoothness profile",
+        lambda scale: smooth_convergence.run(scale=scale),
+    ),
+    "ablation-twolevel": (
+        "two-level coarse correction ablation",
+        lambda scale: ablation_twolevel.run(scale=scale),
+    ),
+}
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (desc, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {desc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    _, fn = EXPERIMENTS[args.experiment]
+    table = fn(args.scale)
+    table.print()
+    return 0 if table.all_claims_hold else 1
+
+
+def _cmd_solve(args) -> int:
+    from repro import build_contact_problem, cg_solve
+    from repro.experiments.workloads import block_problem, swjapan_problem
+    from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
+
+    if args.model == "block":
+        prob = block_problem(args.scale, penalty=args.penalty)
+    elif args.model == "swjapan":
+        prob = swjapan_problem(args.scale, penalty=args.penalty)
+    else:
+        print(f"unknown model {args.model!r}", file=sys.stderr)
+        return 2
+
+    makers = {
+        "diag": lambda: DiagonalScaling(prob.a),
+        "ic0": lambda: scalar_ic0(prob.a),
+        "bic0": lambda: bic(prob.a, fill_level=0),
+        "bic1": lambda: bic(prob.a, fill_level=1),
+        "bic2": lambda: bic(prob.a, fill_level=2),
+        "sbbic0": lambda: sb_bic0(prob.a, prob.groups),
+    }
+    if args.precond not in makers:
+        print(f"unknown preconditioner {args.precond!r}", file=sys.stderr)
+        return 2
+    m = makers[args.precond]()
+    res = cg_solve(prob.a, prob.b, m, max_iter=args.max_iter)
+    print(f"model: {prob.ndof} DOF, penalty {args.penalty:g}, precond {m.name}")
+    print(res)
+    print(f"set-up {m.setup_seconds:.3f}s, memory {m.memory_bytes()/1e6:.2f} MB")
+    return 0 if res.converged else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GeoFEM selective-blocking reproduction (Nakajima, SC 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment harness")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_solve = sub.add_parser("solve", help="solve one model once")
+    p_solve.add_argument("--model", default="block", choices=["block", "swjapan"])
+    p_solve.add_argument("--penalty", type=float, default=1e6)
+    p_solve.add_argument(
+        "--precond", default="sbbic0",
+        choices=["diag", "ic0", "bic0", "bic1", "bic2", "sbbic0"],
+    )
+    p_solve.add_argument("--scale", type=float, default=1.0)
+    p_solve.add_argument("--max-iter", type=int, default=20000)
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

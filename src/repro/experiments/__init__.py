@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a
+:class:`~repro.experiments.common.ReproTable` whose rows put our measured
+values next to the paper's reported ones, plus boolean "claims" checking
+the qualitative shape (who wins, what is flat, what blows up).  The
+benchmarks under ``benchmarks/`` are thin pytest wrappers around these.
+"""
+
+from repro.experiments.common import ReproTable
+
+__all__ = ["ReproTable"]

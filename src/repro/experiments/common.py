@@ -1,0 +1,72 @@
+"""Shared reporting container for the reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReproTable:
+    """A table of measured rows with paper reference context.
+
+    ``claims`` collects named boolean checks of the paper's qualitative
+    statements (e.g. "SB-BIC(0) iterations independent of lambda"); the
+    benches assert them, EXPERIMENTS.md records them.
+    """
+
+    title: str
+    paper_reference: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    claims: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def claim(self, name: str, holds: bool) -> None:
+        self.claims[name] = bool(holds)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+    def failed_claims(self) -> list[str]:
+        return [k for k, v in self.claims.items() if not v]
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title}", f"   (paper: {self.paper_reference})"]
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append(" | ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+        for n in self.notes:
+            lines.append(f"   note: {n}")
+        for k, v in self.claims.items():
+            lines.append(f"   claim [{'PASS' if v else 'FAIL'}] {k}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,70 @@
+"""Fig. 2: the penalty-parameter trade-off in ALM contact solves.
+
+A large lambda yields fast Newton-Raphson (outer) convergence but
+ill-conditioned inner systems (many CG iterations per cycle); a small
+lambda is the opposite.  The paper shows the two curves crossing — we
+sweep lambda and report outer cycles and mean CG iterations per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ReproTable
+from repro.experiments.workloads import table2_block_mesh
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import all_dofs, apply_dirichlet, component_dofs, surface_load
+from repro.fem.nonlinear import solve_nonlinear_contact
+from repro.precond import bic
+
+
+def run(scale: float = 0.6, lambdas=(1e1, 1e2, 1e3, 1e4, 1e5)) -> ReproTable:
+    mesh = table2_block_mesh(scale)
+    k = assemble_stiffness(mesh)
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.0, 0.0, -1.0]))
+    fixed = np.unique(
+        np.concatenate(
+            [
+                all_dofs(mesh.node_sets["zmin"]),
+                component_dofs(mesh.node_sets["xmin"], 0),
+                component_dofs(mesh.node_sets["ymin"], 1),
+            ]
+        )
+    )
+    a_free, b = apply_dirichlet(k.to_csr(), f, fixed)
+
+    table = ReproTable(
+        title="ALM penalty sweep: outer cycles vs inner CG iterations",
+        paper_reference="Fig. 2 (qualitative: NR cycles fall, linear iterations rise with lambda)",
+        columns=["lambda", "outer_cycles", "mean_cg_iters", "total_cg_iters", "converged"],
+    )
+    cycles_list, inner_list = [], []
+    for lam in lambdas:
+        res = solve_nonlinear_contact(
+            a_free,
+            b,
+            mesh.contact_groups,
+            mesh.n_nodes,
+            penalty=lam,
+            precond_factory=lambda a: bic(a, fill_level=0),
+            constraint_tol=1e-6,
+            max_cycles=200,
+        )
+        mean_cg = res.total_cg_iterations / max(res.cycles, 1)
+        cycles_list.append(res.cycles)
+        inner_list.append(mean_cg)
+        table.add_row(lam, res.cycles, round(mean_cg, 1), res.total_cg_iterations, res.converged)
+
+    table.claim(
+        "outer (NR) cycles decrease with lambda",
+        cycles_list[-1] < cycles_list[0],
+    )
+    table.claim(
+        "inner CG iterations per cycle increase with lambda",
+        inner_list[-1] > inner_list[0],
+    )
+    return table
+
+
+if __name__ == "__main__":
+    run().print()

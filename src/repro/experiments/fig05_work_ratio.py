@@ -1,0 +1,53 @@
+"""Fig. 5: parallel work ratio for fixed problem size per PE (SR2201).
+
+Paper: with 3x16^3 / 3x32^3 / 3x40^3 DOF per PE, the work ratio (compute
+time / elapsed time) stays above 95% up to 1024 PEs when the per-PE
+problem is large enough, and degrades for the smallest size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ReproTable
+from repro.experiments.table01_localized_ic0 import _sr2201_census
+from repro.perfmodel import SR2201, estimate_iteration_time
+
+
+def run(pe_counts=(16, 64, 256, 1024), sizes=(16, 32, 40)) -> ReproTable:
+    table = ReproTable(
+        title="Work ratio, fixed problem size per PE (SR2201 model)",
+        paper_reference="Fig. 5 (>95% when size/PE is large; largest case 196.6M DOF)",
+        columns=["size_per_pe"] + [f"{p}PE_%" for p in pe_counts],
+    )
+
+    ratios = {}
+    for n in sizes:
+        ndof_pe = 3 * n**3
+
+        class _P:  # minimal problem stand-in for the census helper
+            ndof = ndof_pe
+
+        row = [f"3x{n}^3"]
+        for p in pe_counts:
+            census = _sr2201_census(_P, ndof_pe)
+            t = estimate_iteration_time(census, SR2201, "flat", p)
+            ratios[(n, p)] = t.work_ratio_percent
+            row.append(round(t.work_ratio_percent, 1))
+        table.add_row(*row)
+
+    table.claim(
+        "largest size/PE keeps work ratio above 95% at max PEs",
+        ratios[(sizes[-1], pe_counts[-1])] > 95.0,
+    )
+    table.claim(
+        "work ratio increases with problem size per PE",
+        ratios[(sizes[-1], pe_counts[-1])] > ratios[(sizes[0], pe_counts[-1])],
+    )
+    table.claim(
+        "work ratio decreases with PE count",
+        ratios[(sizes[0], pe_counts[-1])] <= ratios[(sizes[0], pe_counts[0])],
+    )
+    return table
+
+
+if __name__ == "__main__":
+    run().print()

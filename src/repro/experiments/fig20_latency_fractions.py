@@ -1,0 +1,45 @@
+"""Fig. 20: time fractions — computation vs latency vs bandwidth.
+
+The paper reproduces Kerbyson et al.'s estimate for a CFD code on the
+Earth Simulator: as the processor count grows, the *latency* component
+of communication takes an ever larger share of the time, because the
+crossbar's bandwidth is so large that volume transfer is nearly free.
+We sweep the flat-MPI model to 5120 PEs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ReproTable
+from repro.perfmodel import EARTH_SIMULATOR, StructuredSpec, estimate_iteration_time
+
+
+def run(pe_counts=(8, 64, 512, 2048, 5120), n_per_node: int = 32) -> ReproTable:
+    table = ReproTable(
+        title="Time fractions: compute / MPI latency / MPI bandwidth (flat MPI)",
+        paper_reference="Fig. 20 (latency share grows with processor count)",
+        columns=["PEs", "compute_%", "latency_%", "bandwidth_%"],
+    )
+    spec = StructuredSpec(n_per_node, n_per_node, n_per_node, ncolors=99)
+    census = spec.census()
+    lat_fracs, bw_fracs = [], []
+    for pes in pe_counts:
+        nodes = max(pes // EARTH_SIMULATOR.pe_per_node, 1)
+        t = estimate_iteration_time(census, EARTH_SIMULATOR, "flat", nodes)
+        total = t.total_seconds
+        comp = 100.0 * (t.compute_seconds + t.openmp_seconds) / total
+        lat = 100.0 * t.mpi_latency_seconds / total
+        bwf = 100.0 * t.mpi_bandwidth_seconds / total
+        lat_fracs.append(lat)
+        bw_fracs.append(bwf)
+        table.add_row(pes, round(comp, 1), round(lat, 1), round(bwf, 1))
+
+    table.claim("latency share grows with processor count", lat_fracs[-1] > lat_fracs[0])
+    table.claim(
+        "latency dominates bandwidth at large processor counts",
+        lat_fracs[-1] > 2.0 * bw_fracs[-1],
+    )
+    return table
+
+
+if __name__ == "__main__":
+    run().print()

@@ -1,0 +1,92 @@
+"""Figs. 26/27: color-count sweep of SB-BIC(0) on one SMP node.
+
+Paper (simple block 2.47M DOF / Southwest Japan 2.99M DOF): more colors
+-> fewer iterations but shorter vector loops, so the GFLOPS rate and the
+elapsed time get *worse*; flat MPI posts a higher GFLOPS rate than
+hybrid, and hybrid is the more color-sensitive of the two (OpenMP
+synchronization grows with the color count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ReproTable
+from repro.experiments.workloads import block_problem, swjapan_problem
+from repro.perfmodel import EARTH_SIMULATOR, estimate_iteration_time
+from repro.perfmodel.kernels import census_from_factorization
+from repro.precond import sb_bic0
+from repro.solvers.cg import cg_solve
+
+
+def run(model: str = "block", scale: float = 1.0, colors=(2, 5, 10, 20, 40)) -> ReproTable:
+    if model == "block":
+        prob = block_problem(scale, penalty=1e6)
+        ref = "Fig. 26 (simple block, 2.47M DOF, 1 SMP node)"
+    elif model == "swjapan":
+        prob = swjapan_problem(scale, penalty=1e6)
+        ref = "Fig. 27 (Southwest Japan, 2.99M DOF, 1 SMP node)"
+    else:
+        raise ValueError(f"unknown model {model!r}")
+
+    paper_dof = 2_471_439 if model == "block" else 2_992_266
+    table = ReproTable(
+        title=f"SB-BIC(0) color sweep on one SMP node ({model} model)",
+        paper_reference=ref,
+        columns=[
+            "colors_req", "colors_got", "iters", "avg_VL",
+            "hybrid_GF", "flat_GF", "hybrid@paper_GF", "flat@paper_GF",
+        ],
+    )
+    table.note(
+        f"@paper columns rescale the measured loop census to the paper's {paper_dof} DOF"
+    )
+    iters_c, hy_gf, fl_gf, hy_gf_paper, fl_gf_paper = [], [], [], [], []
+    for nc in colors:
+        m = sb_bic0(prob.a, prob.groups, ncolors=nc)
+        res = cg_solve(prob.a, prob.b, m, max_iter=20000)
+        census = census_from_factorization(prob.a_bcsr, m, npe=8)
+        th = estimate_iteration_time(census, EARTH_SIMULATOR, "hybrid", 1)
+        tf = estimate_iteration_time(census, EARTH_SIMULATOR, "flat", 1)
+        big = census.scaled(paper_dof / prob.ndof)
+        thp = estimate_iteration_time(big, EARTH_SIMULATOR, "hybrid", 1)
+        tfp = estimate_iteration_time(big, EARTH_SIMULATOR, "flat", 1)
+        avg_vl = float(np.mean(census.phases[0].loop_lengths))
+        iters_c.append(res.iterations)
+        hy_gf.append(th.gflops_total())
+        fl_gf.append(tf.gflops_total())
+        hy_gf_paper.append(thp.gflops_total())
+        fl_gf_paper.append(tfp.gflops_total())
+        table.add_row(
+            nc, len(m.schedule), res.iterations, round(avg_vl, 1),
+            round(th.gflops_total(), 2), round(tf.gflops_total(), 2),
+            round(thp.gflops_total(), 1), round(tfp.gflops_total(), 1),
+        )
+
+    table.claim(
+        "more colors -> fewer (or equal) iterations",
+        iters_c[-1] <= iters_c[0],
+    )
+    table.claim(
+        "more colors -> lower GFLOPS rate (hybrid)",
+        hy_gf[-1] < hy_gf[0],
+    )
+    table.claim(
+        "flat MPI GFLOPS rate >= hybrid",
+        all(f >= h for f, h in zip(fl_gf, hy_gf)),
+    )
+    table.claim(
+        "hybrid is more color-sensitive than flat",
+        (hy_gf[0] - hy_gf[-1]) / hy_gf[0] >= (fl_gf[0] - fl_gf[-1]) / fl_gf[0] - 1e-9,
+    )
+    table.claim(
+        "at the paper's DOF the model sustains >10 GFLOPS (paper: 17.6-20.1)",
+        max(hy_gf_paper) > 10.0,
+    )
+    return table
+
+
+if __name__ == "__main__":
+    run("block").print()
+    print()
+    run("swjapan").print()

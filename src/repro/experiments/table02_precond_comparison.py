@@ -1,0 +1,128 @@
+"""Table 2: single-PE preconditioner comparison on the simple block model.
+
+Paper values (83,664 DOF, Intel Xeon 2.8 GHz): SB-BIC(0) converges in 114
+iterations at both lambda = 1e0 and 1e6 at the lowest total time and
+near-BIC(0) memory; BIC(0) needs 2590 iterations at lambda = 1e6; scalar
+IC(0) and diagonal scaling do not converge at lambda = 1e6 within the
+iteration budget; BIC(1)/BIC(2) converge fast but cost 3x/5x the memory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ReproTable
+from repro.experiments.workloads import block_problem, dof_summary
+from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
+from repro.solvers.cg import cg_solve
+
+PAPER = {
+    ("Diagonal", 1e2): (1531, 75.1, 119),
+    ("Diagonal", 1e6): ("No Conv.", None, 119),
+    ("IC(0) scalar", 1e2): (401, 39.2, 119),
+    ("IC(0) scalar", 1e6): ("No Conv.", None, 119),
+    ("BIC(0)", 1e2): (388, 37.4, 59),
+    ("BIC(0)", 1e6): (2590, 252.3, 59),
+    ("BIC(1)", 1e2): (77, 20.2, 176),
+    ("BIC(1)", 1e6): (78, 20.3, 176),
+    ("BIC(2)", 1e2): (59, 30.8, 319),
+    ("BIC(2)", 1e6): (59, 30.8, 319),
+    ("SB-BIC(0)", 1e2): (114, 13.0, 67),
+    ("SB-BIC(0)", 1e6): (114, 13.0, 67),
+}
+
+
+def run(scale: float = 1.0, max_iter: int = 10000) -> ReproTable:
+    table = ReproTable(
+        title="Preconditioned CG on the simple block contact model (1 PE)",
+        paper_reference="Table 2 (83,664 DOF; ours scaled down, same geometry family)",
+        columns=[
+            "precond", "lambda", "iters", "setup_s", "solve_s", "total_s",
+            "mem_MB", "paper_iters", "paper_total_s", "paper_mem_MB",
+        ],
+    )
+
+    results: dict[tuple[str, float], dict] = {}
+    for lam in (1e2, 1e6):
+        prob = block_problem(scale, penalty=lam)
+        if lam == 1e2:
+            table.note(dof_summary(prob))
+        factories = [
+            ("Diagonal", lambda a: DiagonalScaling(a)),
+            ("IC(0) scalar", lambda a: scalar_ic0(a)),
+            ("BIC(0)", lambda a: bic(a, fill_level=0)),
+            ("BIC(1)", lambda a: bic(a, fill_level=1)),
+            ("BIC(2)", lambda a: bic(a, fill_level=2)),
+            ("SB-BIC(0)", lambda a: sb_bic0(a, prob.groups)),
+        ]
+        for name, make in factories:
+            m = make(prob.a)
+            res = cg_solve(prob.a, prob.b, m, max_iter=max_iter)
+            mem = m.memory_bytes() / 1e6
+            results[(name, lam)] = {
+                "iters": res.iterations if res.converged else None,
+                "total": res.total_seconds,
+                "mem": mem,
+            }
+            p_it, p_tot, p_mem = PAPER[(name, lam)]
+            table.add_row(
+                name,
+                lam,
+                res.iterations if res.converged else "No Conv.",
+                round(m.setup_seconds, 3),
+                round(res.solve_seconds, 3),
+                round(res.total_seconds, 3),
+                round(mem, 2),
+                p_it,
+                p_tot if p_tot is not None else "-",
+                p_mem,
+            )
+
+    def it(name, lam):
+        return results[(name, lam)]["iters"]
+
+    def mem(name):
+        return results[(name, 1e2)]["mem"]
+
+    sb6, sb2 = it("SB-BIC(0)", 1e6), it("SB-BIC(0)", 1e2)
+    b0_2, b0_6 = it("BIC(0)", 1e2), it("BIC(0)", 1e6)
+    table.claim(
+        "SB-BIC(0) iterations independent of lambda",
+        sb2 is not None and sb6 is not None and abs(sb6 - sb2) <= max(2, 0.05 * sb2),
+    )
+    table.claim(
+        "BIC(0) degrades badly at lambda=1e6",
+        b0_6 is None or (b0_2 is not None and b0_6 >= 2 * b0_2),
+    )
+    table.claim(
+        "BIC(1)/BIC(2) lambda-independent",
+        it("BIC(1)", 1e2) == it("BIC(1)", 1e6) and it("BIC(2)", 1e2) == it("BIC(2)", 1e6),
+    )
+    table.claim(
+        "diagonal scaling degrades badly at lambda=1e6",
+        it("Diagonal", 1e6) is None
+        or it("Diagonal", 1e6) >= 2 * it("Diagonal", 1e2),
+    )
+    table.claim(
+        "memory: SB-BIC(0) ~ BIC(0) < BIC(1) < BIC(2)",
+        mem("SB-BIC(0)") < 1.5 * mem("BIC(0)")
+        and mem("BIC(1)") > 1.5 * mem("BIC(0)")
+        and mem("BIC(2)") > mem("BIC(1)"),
+    )
+    # timing comparison restricted to the block-IC family with a noise
+    # margin: the paper's Table 2 headline (SB-BIC(0) lowest set-up +
+    # solve) concerns those methods; at our reduced scale wall-clock
+    # noise between runs would make an exact-minimum check flaky.
+    block_methods = ["BIC(0)", "BIC(1)", "BIC(2)", "SB-BIC(0)"]
+    best_other = min(
+        results[(n, 1e6)]["total"]
+        for n in block_methods
+        if n != "SB-BIC(0)" and results[(n, 1e6)]["iters"] is not None
+    )
+    table.claim(
+        "SB-BIC(0) fastest block-IC total time at lambda=1e6 (10% margin)",
+        results[("SB-BIC(0)", 1e6)]["total"] <= 1.1 * best_other,
+    )
+    return table
+
+
+if __name__ == "__main__":
+    run().print()

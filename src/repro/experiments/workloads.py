@@ -1,0 +1,67 @@
+"""Standard scaled workloads shared by the experiment harnesses.
+
+The paper's models are far larger than a pure-Python reproduction can
+assemble in seconds, so every experiment runs a geometrically similar
+scaled model; the ``scale`` knob (1 = bench default) lets callers grow
+toward the paper's sizes when they have the time budget.  DESIGN.md
+records the correspondence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.generators import box_mesh, simple_block_model, southwest_japan_model
+from repro.fem.material import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.model import ContactProblem, build_contact_problem
+
+
+def table2_block_mesh(scale: float = 1.0) -> Mesh:
+    """Scaled Fig. 23 simple block model (paper: 20/20/15/20/20)."""
+    f = max(scale, 0.2)
+    nx = max(int(round(8 * f)), 2)
+    ny = max(int(round(6 * f)), 2)
+    nz = max(int(round(8 * f)), 2)
+    return simple_block_model(nx, nx, ny, nz, nz)
+
+
+def block_problem(scale: float = 1.0, penalty: float = 1e6) -> ContactProblem:
+    return build_contact_problem(table2_block_mesh(scale), penalty=penalty)
+
+
+def swjapan_mesh(scale: float = 1.0) -> Mesh:
+    """Scaled synthetic Southwest Japan model (crust + slab, distorted)."""
+    f = max(scale, 0.3)
+    return southwest_japan_model(
+        nx=max(int(round(10 * f)), 4),
+        ny=max(int(round(7 * f)), 3),
+        nz_crust=max(int(round(3 * f)), 2),
+        nz_slab=max(int(round(3 * f)), 2),
+    )
+
+
+def swjapan_problem(scale: float = 1.0, penalty: float = 1e6) -> ContactProblem:
+    mesh = swjapan_mesh(scale)
+    materials = {
+        0: IsotropicElastic(1.0, 0.30),  # crust plate A
+        1: IsotropicElastic(1.0, 0.30),  # slab
+        2: IsotropicElastic(1.0, 0.30),  # crust plate B
+    }
+    return build_contact_problem(
+        mesh, penalty=penalty, materials=materials, load="body", symmetry=False
+    )
+
+
+def homogeneous_box_problem(n: int = 12, penalty: float = 0.0) -> ContactProblem:
+    """Homogeneous cube of Fig. 14 (no contact groups)."""
+    mesh = box_mesh(n, n, n)
+    return build_contact_problem(mesh, penalty=penalty)
+
+
+def dof_summary(problem: ContactProblem) -> str:
+    groups = problem.groups
+    return (
+        f"{problem.mesh.n_nodes} nodes / {problem.ndof} DOF, "
+        f"{problem.mesh.n_elem} elements, {len(groups)} contact groups"
+    )

@@ -1,0 +1,57 @@
+"""GeoFEM-style finite element substrate.
+
+3-D linear elastic solid mechanics on tri-linear (8-node) hexahedral
+meshes, with penalty/MPC contact groups — the problem class of the
+paper's evaluation (section 5).
+"""
+
+from repro.fem.material import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.hex8 import hex8_stiffness
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import apply_dirichlet, surface_load, body_force
+from repro.fem.contact import assemble_penalty_groups
+from repro.fem.model import ContactProblem, build_contact_problem
+from repro.fem.generators import (
+    box_mesh,
+    simple_block_model,
+    southwest_japan_model,
+)
+from repro.fem.nonlinear import NonlinearContactResult, solve_nonlinear_contact
+from repro.fem.friction import FrictionResult, solve_frictional_contact
+from repro.fem.mpc import reduce_system, solve_tied_exact, tied_contact_transformation
+from repro.fem.postprocess import (
+    element_strains,
+    element_stresses,
+    fault_stress_accumulation,
+    nodal_average,
+    von_mises,
+)
+
+__all__ = [
+    "reduce_system",
+    "solve_tied_exact",
+    "tied_contact_transformation",
+    "FrictionResult",
+    "solve_frictional_contact",
+    "element_strains",
+    "element_stresses",
+    "fault_stress_accumulation",
+    "nodal_average",
+    "von_mises",
+    "IsotropicElastic",
+    "Mesh",
+    "hex8_stiffness",
+    "assemble_stiffness",
+    "apply_dirichlet",
+    "surface_load",
+    "body_force",
+    "assemble_penalty_groups",
+    "ContactProblem",
+    "build_contact_problem",
+    "box_mesh",
+    "simple_block_model",
+    "southwest_japan_model",
+    "NonlinearContactResult",
+    "solve_nonlinear_contact",
+]

@@ -1,0 +1,141 @@
+"""Boundary conditions and load vectors.
+
+Implements the paper's standard setup (Figs. 14 and 23): symmetry
+conditions (single-component Dirichlet), fixed surfaces, uniformly
+distributed surface loads, and body forces (the Southwest Japan model
+uses ``f_z = -1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.mesh import Mesh
+from repro.utils.validate import check_square_csr
+
+# Local node quadruples of the six faces of a hex8 element.
+_HEX_FACES = np.array(
+    [
+        [0, 1, 2, 3],  # zeta = -1 (bottom)
+        [4, 5, 6, 7],  # zeta = +1 (top)
+        [0, 1, 5, 4],  # eta  = -1
+        [3, 2, 6, 7],  # eta  = +1
+        [0, 3, 7, 4],  # xi   = -1
+        [1, 2, 6, 5],  # xi   = +1
+    ],
+    dtype=np.int64,
+)
+
+
+def component_dofs(nodes: np.ndarray, component: int) -> np.ndarray:
+    """DOF ids of one displacement component (0=x, 1=y, 2=z) on *nodes*."""
+    if component not in (0, 1, 2):
+        raise ValueError(f"component must be 0, 1 or 2, got {component}")
+    return np.asarray(nodes, dtype=np.int64) * 3 + component
+
+
+def all_dofs(nodes: np.ndarray) -> np.ndarray:
+    """All three DOF ids of *nodes* (fully fixed surface)."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return (nodes[:, None] * 3 + np.arange(3)).reshape(-1)
+
+
+def apply_dirichlet(
+    a, b: np.ndarray, fixed_dofs: np.ndarray, values: np.ndarray | float = 0.0
+):
+    """Symmetric elimination of Dirichlet DOFs.
+
+    Rows and columns of the fixed DOFs are zeroed (moving the column
+    contribution of nonzero prescribed values to the RHS) and the original
+    diagonal entry is restored, keeping the matrix SPD and sensibly
+    scaled.  Returns ``(a_mod, b_mod)`` as new objects.
+    """
+    a = check_square_csr(a)
+    n = a.shape[0]
+    fixed_dofs = np.unique(np.asarray(fixed_dofs, dtype=np.int64))
+    if fixed_dofs.size and (fixed_dofs.min() < 0 or fixed_dofs.max() >= n):
+        raise ValueError("fixed DOF index out of range")
+    vals = np.broadcast_to(np.asarray(values, dtype=np.float64), fixed_dofs.shape)
+
+    b = np.asarray(b, dtype=np.float64).copy()
+    # Move prescribed-value columns to the RHS: b -= A[:, fixed] @ vals.
+    if vals.any():
+        xfix = np.zeros(n)
+        xfix[fixed_dofs] = vals
+        b -= a @ xfix
+
+    diag = a.diagonal()
+    mask = np.zeros(n, dtype=bool)
+    mask[fixed_dofs] = True
+
+    coo = a.tocoo()
+    keep = ~(mask[coo.row] | mask[coo.col])
+    rows = np.concatenate([coo.row[keep], fixed_dofs])
+    cols = np.concatenate([coo.col[keep], fixed_dofs])
+    data = np.concatenate([coo.data[keep], diag[fixed_dofs]])
+    a_mod = sp.csr_matrix((data, (rows, cols)), shape=a.shape)
+    a_mod.sum_duplicates()
+    a_mod.sort_indices()
+
+    b[fixed_dofs] = diag[fixed_dofs] * vals
+    return a_mod, b
+
+
+def boundary_faces(mesh: Mesh, node_set: np.ndarray) -> np.ndarray:
+    """Element faces whose four nodes all belong to *node_set*.
+
+    Returns ``(nfaces, 4)`` global node quadruples (used for consistent
+    surface-load integration).
+    """
+    in_set = np.zeros(mesh.n_nodes, dtype=bool)
+    in_set[np.asarray(node_set, dtype=np.int64)] = True
+    faces = mesh.hexes[:, _HEX_FACES]  # (e, 6, 4)
+    keep = in_set[faces].all(axis=2)
+    return faces[keep]
+
+
+def surface_load(
+    mesh: Mesh, node_set: np.ndarray, traction: np.ndarray
+) -> np.ndarray:
+    """Consistent nodal load vector for a uniform traction on a surface.
+
+    Each bilinear face contributes ``traction * area / 4`` to its corner
+    nodes (exact for flat faces, adequate for the gently warped ones of
+    the synthetic Southwest Japan model).
+    """
+    traction = np.asarray(traction, dtype=np.float64)
+    if traction.shape != (3,):
+        raise ValueError(f"traction must be a 3-vector, got shape {traction.shape}")
+    faces = boundary_faces(mesh, node_set)
+    if faces.size == 0:
+        raise ValueError("node set contains no complete element face")
+    p = mesh.coords[faces]  # (f, 4, 3)
+    # Area of a (possibly warped) quad from its two diagonals.
+    d1 = p[:, 2] - p[:, 0]
+    d2 = p[:, 3] - p[:, 1]
+    area = 0.5 * np.linalg.norm(np.cross(d1, d2), axis=1)
+    f = np.zeros(mesh.ndof)
+    share = area[:, None] / 4.0 * traction[None, :]  # (f, 3)
+    for corner in range(4):
+        dofs = faces[:, corner, None] * 3 + np.arange(3)
+        np.add.at(f, dofs.reshape(-1), np.repeat(share, 1, axis=0).reshape(-1))
+    return f
+
+
+def body_force(mesh: Mesh, force_density: np.ndarray) -> np.ndarray:
+    """Lumped nodal load for a uniform body force (e.g. gravity ``-z``)."""
+    from repro.fem.assembly import element_volumes
+
+    force_density = np.asarray(force_density, dtype=np.float64)
+    if force_density.shape != (3,):
+        raise ValueError(f"force density must be a 3-vector, got {force_density.shape}")
+    vol = element_volumes(mesh)
+    f = np.zeros(mesh.ndof)
+    share = vol[:, None] / 8.0  # equal lumping over the 8 element nodes
+    for corner in range(8):
+        dofs = mesh.hexes[:, corner, None] * 3 + np.arange(3)
+        np.add.at(
+            f, dofs.reshape(-1), (share * force_density[None, :]).reshape(-1)
+        )
+    return f

@@ -1,0 +1,284 @@
+"""Frictional fault contact — the paper's deferred future-work case.
+
+Section 5.1 notes: *"If friction is not considered at fault surfaces,
+the coefficient matrix is symmetric positive definite; therefore, the CG
+method was adopted."*  This module supplies the other branch: a Coulomb
+stick/slip model on the contact groups solved by penalty-regularized
+return mapping, whose consistent tangent couples the tangential force to
+the normal pressure — a genuinely nonsymmetric matrix solved with the
+BiCGSTAB/GMRES solvers.
+
+Model (node-to-node, small deformation):
+
+- every contact group is tied *normally* by the penalty ``lam_n``;
+  *sticking* pairs are tied tangentially by ``lam_t`` while *slipping*
+  pairs keep only a small regularization spring
+  (``slip_regularization * lam_t``) so genuine slip displacement can
+  develop without the tangent ever going singular;
+- tractions are carried by augmented-Lagrange multipliers updated Uzawa
+  style and projected onto the Coulomb cone ``|t_t| <= mu * p_n``;
+- with ``consistent_tangent=True`` (default) slipping pairs additionally
+  contribute the nonsymmetric block ``mu * lam_n * (s n^T)``
+  linearizing the dependence of the capped traction on the normal gap.
+
+The outer loop iterates the corrective forces and the stick/slip active
+set to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.selective_blocking import validate_groups
+from repro.fem.mesh import Mesh
+from repro.precond.base import Preconditioner
+from repro.solvers.bicgstab import bicgstab_solve
+from repro.solvers.gmres import gmres_solve
+from repro.sparse.bcsr import BCSRMatrix
+
+
+def infer_group_normals(mesh: Mesh) -> np.ndarray:
+    """Contact normal per group from the materials the group touches.
+
+    Groups joining the bottom block to a top block (materials {0,1},
+    {0,2} or all three) sit on the horizontal interface -> normal ``z``;
+    groups joining the two top blocks ({1,2}) sit on the vertical seam
+    -> normal ``x``.  Works for both generator model families, which use
+    the same material convention.
+    """
+    node_mats: list[set[int]] = [set() for _ in range(mesh.n_nodes)]
+    for hexa, mat in zip(mesh.hexes, mesh.material_ids):
+        for node in hexa:
+            node_mats[node].add(int(mat))
+    normals = np.zeros((len(mesh.contact_groups), 3))
+    for gi, g in enumerate(mesh.contact_groups):
+        mats = set()
+        for node in g:
+            mats |= node_mats[node]
+        if mats == {1, 2}:
+            normals[gi] = [1.0, 0.0, 0.0]
+        else:
+            normals[gi] = [0.0, 0.0, 1.0]
+    return normals
+
+
+def _pair_list(groups: list[np.ndarray]) -> list[tuple[int, int, int]]:
+    """(group index, node_i, node_j) consecutive pairs inside each group."""
+    pairs = []
+    for gi, g in enumerate(groups):
+        for a, b in zip(g[:-1], g[1:]):
+            pairs.append((gi, int(a), int(b)))
+    return pairs
+
+
+def assemble_friction_tangent(
+    groups: list[np.ndarray],
+    normals: np.ndarray,
+    n_nodes: int,
+    lam_n: float,
+    lam_t: float,
+    mu: float,
+    slipping: np.ndarray,
+    slip_dirs: np.ndarray,
+    gap_signs: np.ndarray | None = None,
+    consistent_tangent: bool = True,
+    slip_regularization: float = 1e-3,
+) -> BCSRMatrix:
+    """Contact tangent matrix for the current stick/slip state.
+
+    Per pair (i, j) with normal ``n``: every pair carries the symmetric
+    normal penalty ``lam_n * n n^T`` with the usual (+diag / -offdiag)
+    Laplacian sign pattern; sticking pairs add the tangential tie
+    ``lam_t * (I - n n^T)``, slipping pairs only its small
+    regularization.  With the consistent tangent, slipping pairs add the
+    *nonsymmetric* coupling ``mu * lam_n * (s n^T)`` linearizing the
+    Coulomb cap w.r.t. the normal gap.
+    """
+    groups = validate_groups(groups, n_nodes)
+    pairs = _pair_list(groups)
+    if normals.shape != (len(groups), 3):
+        raise ValueError(f"normals must be ({len(groups)}, 3), got {normals.shape}")
+    rows, cols, blocks = [], [], []
+    for pi, (gi, i, j) in enumerate(pairs):
+        n = normals[gi]
+        nn = np.outer(n, n)
+        tang = lam_t * (slip_regularization if slipping[pi] else 1.0)
+        k_pair = lam_n * nn + tang * (np.eye(3) - nn)
+        if consistent_tangent and slipping[pi]:
+            # d(mu * p_n * s)/d(du) with p_n = lam_n * |gap|: the sign of
+            # the gap decides the slope's sign — using |.| here flips the
+            # feedback for compressed pairs and destabilizes the loop.
+            sign = 1.0 if gap_signs is None else float(gap_signs[pi])
+            k_pair = k_pair + sign * mu * lam_n * np.outer(slip_dirs[pi], n)
+        for (r, c, sign) in ((i, i, 1.0), (j, j, 1.0), (i, j, -1.0), (j, i, -1.0)):
+            rows.append(r)
+            cols.append(c)
+            blocks.append(sign * k_pair)
+    if not rows:
+        z = np.empty(0, dtype=np.int64)
+        return BCSRMatrix.from_coo_blocks(n_nodes, z, z.copy(), np.empty((0, 3, 3)))
+    return BCSRMatrix.from_coo_blocks(
+        n_nodes, np.array(rows), np.array(cols), np.array(blocks)
+    )
+
+
+@dataclass
+class FrictionResult:
+    """Outcome of a frictional contact solve."""
+
+    u: np.ndarray
+    outer_iterations: int
+    converged: bool
+    n_slipping: int
+    n_pairs: int
+    solver_iterations: list[int] = field(default_factory=list)
+    correction_norm: float = 0.0
+
+    @property
+    def slip_fraction(self) -> float:
+        return self.n_slipping / max(self.n_pairs, 1)
+
+
+def solve_frictional_contact(
+    a_free: sp.csr_matrix,
+    b: np.ndarray,
+    mesh: Mesh,
+    *,
+    lam_n: float = 1e6,
+    lam_t: float | None = None,
+    mu: float = 0.3,
+    precond_factory: Callable[[sp.csr_matrix], Preconditioner] | None = None,
+    solver: str = "bicgstab",
+    consistent_tangent: bool = False,
+    relaxation: float = 0.5,
+    max_outer: int = 100,
+    outer_tol: float = 1e-6,
+    eps: float = 1e-8,
+) -> FrictionResult:
+    """Penalty-regularized Coulomb friction by radial-return iteration.
+
+    Parameters
+    ----------
+    a_free:
+        Elastic stiffness with boundary conditions, *without* contact.
+    solver:
+        ``"bicgstab"`` (default) or ``"gmres"`` — the tangent is
+        nonsymmetric whenever any pair slips (consistent tangent).
+
+    consistent_tangent:
+        Add the nonsymmetric coupling to the matrix.  It accelerates the
+        outer loop at moderate penalties but can destabilize the Krylov
+        solve when ``mu * lam_n`` rivals the elastic stiffness scale, so
+        the default is the fixed-point (symmetric-matrix) variant.
+    relaxation:
+        Under-relaxation of the corrective-force update (the fixed point
+        oscillates without it).
+
+    Notes
+    -----
+    Each outer iteration solves with the (fixed) regularized stiffness
+    plus the current corrective forces, recovers the pair tractions,
+    caps them at ``mu * p_n`` and updates the corrections.  Convergence:
+    relative change of the corrective forces below ``outer_tol`` with a
+    stable stick/slip set.
+    """
+    if not 0.0 < relaxation <= 1.0:
+        raise ValueError(f"relaxation must be in (0, 1], got {relaxation}")
+    if lam_t is None:
+        lam_t = lam_n
+    if solver not in ("bicgstab", "gmres"):
+        raise ValueError(f"unknown solver {solver!r}")
+    groups = mesh.contact_groups
+    normals = infer_group_normals(mesh)
+    pairs = _pair_list(groups)
+    npairs = len(pairs)
+    slipping = np.zeros(npairs, dtype=bool)
+    slip_dirs = np.zeros((npairs, 3))
+    gap_signs = np.ones(npairs)
+    t_normal = np.zeros(npairs)  # multiplier: signed normal traction
+    t_tang = np.zeros((npairs, 3))  # multiplier: tangential traction
+    solve = bicgstab_solve if solver == "bicgstab" else gmres_solve
+
+    u = np.zeros(a_free.shape[0])
+    solver_iters: list[int] = []
+    converged = False
+    outer = 0
+    gap_norm = np.inf
+    for outer in range(1, max_outer + 1):
+        kc = assemble_friction_tangent(
+            groups, normals, mesh.n_nodes, lam_n, lam_t, mu,
+            slipping, slip_dirs, gap_signs, consistent_tangent,
+        )
+        a = (a_free + kc.to_csr()).tocsr()
+        rhs = b - _multiplier_forces(pairs, normals, t_normal, t_tang, mesh.n_nodes)
+        m = precond_factory(a) if precond_factory is not None else None
+        res = solve(a, rhs, m, eps=eps, x0=u)
+        u = res.x
+        solver_iters.append(res.iterations)
+
+        # Uzawa multiplier update with Coulomb projection.  Only normal
+        # gaps and the tangential gaps of *sticking* pairs count as
+        # constraint violation — slipping pairs are allowed to move.
+        new_slipping = np.zeros_like(slipping)
+        gap_sq = 0.0
+        for pi, (gi, i, j) in enumerate(pairs):
+            n = normals[gi]
+            du = u[3 * i : 3 * i + 3] - u[3 * j : 3 * j + 3]
+            gap_n = float(n @ du)
+            du_t = du - gap_n * n
+            gap_sq += gap_n * gap_n
+            t_normal[pi] += lam_n * gap_n
+            p_n = abs(t_normal[pi])
+            spring = lam_t * (1e-3 if slipping[pi] else 1.0)
+            trial = t_tang[pi] + spring * du_t
+            t_mag = float(np.linalg.norm(trial))
+            if t_mag > mu * p_n + 1e-14:
+                new_slipping[pi] = True
+                s = trial / max(t_mag, 1e-30)
+                slip_dirs[pi] = s
+                gap_signs[pi] = 1.0 if gap_n >= 0 else -1.0
+                t_tang[pi] = mu * p_n * s  # Coulomb projection
+            else:
+                gap_sq += float(du_t @ du_t)
+                t_tang[pi] = trial
+        unorm = max(float(np.linalg.norm(u)), 1e-30)
+        gap_norm = float(np.sqrt(gap_sq)) / unorm
+        same_set = np.array_equal(new_slipping, slipping)
+        slipping = new_slipping
+        if same_set and gap_norm <= outer_tol and outer > 1:
+            converged = True
+            break
+
+    return FrictionResult(
+        u=u,
+        outer_iterations=outer,
+        converged=converged,
+        n_slipping=int(slipping.sum()),
+        n_pairs=npairs,
+        solver_iterations=solver_iters,
+        correction_norm=gap_norm,
+    )
+
+
+def _multiplier_forces(
+    pairs: list[tuple[int, int, int]],
+    normals: np.ndarray,
+    t_normal: np.ndarray,
+    t_tang: np.ndarray,
+    n_nodes: int,
+) -> np.ndarray:
+    """Nodal force vector of the contact multipliers.
+
+    The augmented-Lagrangian term ``t . (u_i - u_j)`` contributes ``+t``
+    at node i and ``-t`` at node j to the gradient.
+    """
+    f = np.zeros(3 * n_nodes)
+    for pi, (gi, i, j) in enumerate(pairs):
+        t = t_normal[pi] * normals[gi] + t_tang[pi]
+        f[3 * i : 3 * i + 3] += t
+        f[3 * j : 3 * j + 3] -= t
+    return f

@@ -1,0 +1,235 @@
+"""Mesh generators for the paper's three model families.
+
+- :func:`box_mesh` — the homogeneous cube of sections 2.2 / 4.6.
+- :func:`simple_block_model` — Fig. 23: one bottom block carrying two top
+  blocks, with coincident-node contact planes between them (groups of 2,
+  and of 3 along the T-junction line).
+- :func:`southwest_japan_model` — a synthetic stand-in for the RIST
+  Southwest Japan crust/slab mesh: curved, distorted elements, two
+  materials, an irregular dipping contact surface, and a split upper
+  crust giving mixed-size contact groups.  See DESIGN.md for why this
+  substitution preserves the behaviour the paper measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selective_blocking import detect_contact_groups
+from repro.fem.mesh import Mesh
+
+
+def _structured_nodes(nx: int, ny: int, nz: int, origin=(0.0, 0.0, 0.0), spacing=1.0):
+    """Structured grid coordinates, x fastest; returns (coords, index fn)."""
+    xs = origin[0] + spacing * np.arange(nx + 1)
+    ys = origin[1] + spacing * np.arange(ny + 1)
+    zs = origin[2] + spacing * np.arange(nz + 1)
+    zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
+    coords = np.stack([xx.reshape(-1), yy.reshape(-1), zz.reshape(-1)], axis=1)
+
+    def nid(ix, iy, iz):
+        return ix + (nx + 1) * (iy + (ny + 1) * iz)
+
+    return coords, nid
+
+
+def _structured_hexes(nx: int, ny: int, nz: int) -> np.ndarray:
+    """Hex connectivity of a structured grid (node order matches hex8)."""
+    ix, iy, iz = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    ix = ix.reshape(-1)
+    iy = iy.reshape(-1)
+    iz = iz.reshape(-1)
+
+    def nid(a, b, c):
+        return a + (nx + 1) * (b + (ny + 1) * c)
+
+    return np.stack(
+        [
+            nid(ix, iy, iz),
+            nid(ix + 1, iy, iz),
+            nid(ix + 1, iy + 1, iz),
+            nid(ix, iy + 1, iz),
+            nid(ix, iy, iz + 1),
+            nid(ix + 1, iy, iz + 1),
+            nid(ix + 1, iy + 1, iz + 1),
+            nid(ix, iy + 1, iz + 1),
+        ],
+        axis=1,
+    ).astype(np.int64)
+
+
+def box_mesh(nx: int, ny: int, nz: int, spacing: float = 1.0) -> Mesh:
+    """Homogeneous structured box: ``(nx+1)(ny+1)(nz+1)`` nodes.
+
+    Node sets name all six boundary surfaces (``xmin`` .. ``zmax``), which
+    is all the paper's simple-geometry boundary conditions need (Fig. 14).
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"box must have at least one element per axis, got {(nx, ny, nz)}")
+    coords, _ = _structured_nodes(nx, ny, nz, spacing=spacing)
+    hexes = _structured_hexes(nx, ny, nz)
+    eps = spacing * 1e-9
+    sets = {
+        "xmin": np.flatnonzero(np.abs(coords[:, 0] - 0) < eps),
+        "xmax": np.flatnonzero(np.abs(coords[:, 0] - spacing * nx) < eps),
+        "ymin": np.flatnonzero(np.abs(coords[:, 1] - 0) < eps),
+        "ymax": np.flatnonzero(np.abs(coords[:, 1] - spacing * ny) < eps),
+        "zmin": np.flatnonzero(np.abs(coords[:, 2] - 0) < eps),
+        "zmax": np.flatnonzero(np.abs(coords[:, 2] - spacing * nz) < eps),
+    }
+    return Mesh(coords=coords, hexes=hexes, node_sets=sets)
+
+
+def simple_block_model(
+    nx1: int, nx2: int, ny: int, nz1: int, nz2: int
+) -> Mesh:
+    """The Fig. 23 simple block model.
+
+    Geometry: a bottom block of ``(nx1+nx2) x ny x nz1`` elements carries
+    two top blocks of ``nx1 x ny x nz2`` and ``nx2 x ny x nz2`` elements.
+    The three blocks have their own copies of the interface nodes, at
+    identical locations — those coincident nodes are the contact groups.
+    Node counts follow the paper exactly, e.g. ``(20, 20, 15, 20, 20)``
+    gives 27,888 nodes / 83,664 DOF (Table 2's model).
+    """
+    if min(nx1, nx2, ny, nz1, nz2) < 1:
+        raise ValueError("all block dimensions must be >= 1 element")
+    blocks = [
+        # (nx, ny, nz, origin, material)
+        (nx1 + nx2, ny, nz1, (0.0, 0.0, 0.0), 0),  # bottom
+        (nx1, ny, nz2, (0.0, 0.0, float(nz1)), 1),  # top left
+        (nx2, ny, nz2, (float(nx1), 0.0, float(nz1)), 2),  # top right
+    ]
+    coords_list, hexes_list, mat_list = [], [], []
+    offset = 0
+    for bx, by, bz, origin, mat in blocks:
+        c, _ = _structured_nodes(bx, by, bz, origin=origin)
+        h = _structured_hexes(bx, by, bz) + offset
+        coords_list.append(c)
+        hexes_list.append(h)
+        mat_list.append(np.full(h.shape[0], mat, dtype=np.int64))
+        offset += c.shape[0]
+    coords = np.concatenate(coords_list)
+    hexes = np.concatenate(hexes_list)
+    mats = np.concatenate(mat_list)
+
+    groups = detect_contact_groups(coords)
+    eps = 1e-9
+    zmax = nz1 + nz2
+    sets = {
+        "xmin": np.flatnonzero(np.abs(coords[:, 0]) < eps),
+        "ymin": np.flatnonzero(np.abs(coords[:, 1]) < eps),
+        "zmin": np.flatnonzero(np.abs(coords[:, 2]) < eps),
+        "zmax": np.flatnonzero(np.abs(coords[:, 2] - zmax) < eps),
+        "xmax": np.flatnonzero(np.abs(coords[:, 0] - (nx1 + nx2)) < eps),
+        "ymax": np.flatnonzero(np.abs(coords[:, 1] - ny) < eps),
+    }
+    return Mesh(
+        coords=coords,
+        hexes=hexes,
+        node_sets=sets,
+        contact_groups=groups,
+        material_ids=mats,
+    )
+
+
+def southwest_japan_model(
+    nx: int = 12,
+    ny: int = 8,
+    nz_crust: int = 4,
+    nz_slab: int = 4,
+    distortion: float = 0.25,
+    dip: float = 0.35,
+    seed: int = 2003,
+) -> Mesh:
+    """Synthetic Southwest-Japan-like crust/slab model (Fig. 25 stand-in).
+
+    A dipping, curved slab (material 1) underlies a crust that is split
+    into two plates along a vertical fault (materials 0 and 2 — think
+    Eurasia and Philippine Sea plates).  All three interfaces carry
+    coincident-node contact groups; interior nodes are perturbed with a
+    deterministic jitter so that many elements are distorted, which is
+    what makes the real model's matrices ill-conditioned (Appendix A.3).
+
+    Parameters are element counts; total nodes grow like
+    ``(nx+1)(ny+1)(nz_crust + nz_slab + 2)``.
+    """
+    if min(nx, ny, nz_crust, nz_slab) < 1:
+        raise ValueError("all dimensions must be >= 1 element")
+    if not 0.0 <= distortion < 0.35:
+        raise ValueError(f"distortion must be in [0, 0.35) to keep Jacobians positive, got {distortion}")
+    xsplit = max(1, nx // 2)
+
+    def warp(c: np.ndarray) -> np.ndarray:
+        """Smooth warp: slab dip plus gentle along-arc curvature."""
+        out = c.copy()
+        x, y, z = c[:, 0], c[:, 1], c[:, 2]
+        out[:, 2] = z - dip * x + 0.15 * nz_slab * np.sin(np.pi * y / max(ny, 1) / 1.0) * (x / max(nx, 1))
+        out[:, 0] = x + 0.10 * np.sin(np.pi * z / max(nz_crust + nz_slab, 1))
+        return out
+
+    blocks = [
+        # slab: full footprint, below z=0 plane (local z in [-nz_slab, 0])
+        (nx, ny, nz_slab, (0.0, 0.0, -float(nz_slab)), 1),
+        # crust plate A: x in [0, xsplit]
+        (xsplit, ny, nz_crust, (0.0, 0.0, 0.0), 0),
+        # crust plate B: x in [xsplit, nx]
+        (nx - xsplit, ny, nz_crust, (float(xsplit), 0.0, 0.0), 2),
+    ]
+    coords_list, hexes_list, mat_list = [], [], []
+    offset = 0
+    for bx, by, bz, origin, mat in blocks:
+        c, _ = _structured_nodes(bx, by, bz, origin=origin)
+        h = _structured_hexes(bx, by, bz) + offset
+        coords_list.append(c)
+        hexes_list.append(h)
+        mat_list.append(np.full(h.shape[0], mat, dtype=np.int64))
+        offset += c.shape[0]
+    coords = np.concatenate(coords_list)
+    hexes = np.concatenate(hexes_list)
+    mats = np.concatenate(mat_list)
+
+    # Contact groups are detected in the *unwarped* frame, where the
+    # coincidence structure is exact; warping preserves coincidence.
+    groups = detect_contact_groups(coords)
+
+    warped = warp(coords)
+
+    # Deterministic interior jitter (identical for coincident nodes, so
+    # contact groups stay coincident): key the jitter on the quantized
+    # original coordinates rather than the node index.
+    rng = np.random.default_rng(seed)
+    quant = np.round(coords * 8).astype(np.int64)
+    keys = quant[:, 0] * 73856093 ^ quant[:, 1] * 19349663 ^ quant[:, 2] * 83492791
+    uniq, inv = np.unique(keys, return_inverse=True)
+    jitter = rng.uniform(-distortion, distortion, size=(uniq.size, 3))
+    # Pin the outer boundary so node sets stay planar in x/y extremes.
+    x, y, z = coords[:, 0], coords[:, 1], coords[:, 2]
+    boundary = (
+        (np.abs(x) < 1e-9)
+        | (np.abs(x - nx) < 1e-9)
+        | (np.abs(y) < 1e-9)
+        | (np.abs(y - ny) < 1e-9)
+        | (np.abs(z + nz_slab) < 1e-9)
+        | (np.abs(z - nz_crust) < 1e-9)
+    )
+    pert = jitter[inv]
+    pert[boundary] = 0.0
+    warped = warped + pert
+
+    eps = 1e-9
+    sets = {
+        "xmin": np.flatnonzero(np.abs(x) < eps),
+        "xmax": np.flatnonzero(np.abs(x - nx) < eps),
+        "ymin": np.flatnonzero(np.abs(y) < eps),
+        "ymax": np.flatnonzero(np.abs(y - ny) < eps),
+        "zmin": np.flatnonzero(np.abs(z + nz_slab) < eps),
+        "zmax": np.flatnonzero(np.abs(z - nz_crust) < eps),
+    }
+    return Mesh(
+        coords=warped,
+        hexes=hexes,
+        node_sets=sets,
+        contact_groups=groups,
+        material_ids=mats,
+    )

@@ -1,0 +1,45 @@
+"""Linear elastic material law (paper eq. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IsotropicElastic:
+    """Isotropic linear elastic material.
+
+    The paper's models use non-dimensional ``E = 1.0`` and ``nu = 0.30``
+    (section 5.1); Lamé parameters follow eq. (1).
+    """
+
+    youngs_modulus: float = 1.0
+    poisson_ratio: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.youngs_modulus <= 0:
+            raise ValueError(f"E must be positive, got {self.youngs_modulus}")
+        if not -1.0 < self.poisson_ratio < 0.5:
+            raise ValueError(f"nu must be in (-1, 0.5), got {self.poisson_ratio}")
+
+    @property
+    def lame_mu(self) -> float:
+        """Shear modulus mu = E / (2 (1 + nu))."""
+        return self.youngs_modulus / (2.0 * (1.0 + self.poisson_ratio))
+
+    @property
+    def lame_lambda(self) -> float:
+        """First Lamé parameter lambda = nu E / ((1 + nu)(1 - 2 nu))."""
+        e, nu = self.youngs_modulus, self.poisson_ratio
+        return nu * e / ((1.0 + nu) * (1.0 - 2.0 * nu))
+
+    def elasticity_matrix(self) -> np.ndarray:
+        """6x6 constitutive matrix in Voigt order (xx, yy, zz, xy, yz, zx)."""
+        lam, mu = self.lame_lambda, self.lame_mu
+        d = np.zeros((6, 6))
+        d[:3, :3] = lam
+        d[np.arange(3), np.arange(3)] += 2.0 * mu
+        d[np.arange(3, 6), np.arange(3, 6)] = mu
+        return d

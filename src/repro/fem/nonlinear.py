@@ -1,0 +1,110 @@
+"""Augmented Lagrange / Newton-Raphson driver for contact (paper Fig. 2).
+
+GeoFEM solves fault-zone contact with the augmented Lagrange method: the
+tied-contact constraints ``C u = 0`` are enforced by a penalty term plus
+multipliers updated between outer cycles.  For the frictionless,
+geometrically linear problems of the paper each Newton-Raphson cycle is a
+single linear solve, so the outer loop count *is* the NR cycle count.
+
+The Fig. 2 trade-off emerges directly: a large penalty converges in few
+outer cycles but each inner CG solve needs many iterations (the penalty
+dominates the spectrum); a small penalty is the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.contact import constraint_matrix
+from repro.fem.mesh import Mesh
+from repro.precond.base import Preconditioner
+from repro.solvers.cg import cg_solve
+
+
+@dataclass
+class NonlinearContactResult:
+    """Outcome of an ALM contact solve."""
+
+    u: np.ndarray
+    cycles: int
+    converged: bool
+    constraint_norm: float
+    cg_iterations: list[int] = field(default_factory=list)
+
+    @property
+    def total_cg_iterations(self) -> int:
+        return int(sum(self.cg_iterations))
+
+
+def solve_nonlinear_contact(
+    a_free: sp.csr_matrix,
+    b: np.ndarray,
+    groups: list[np.ndarray],
+    n_nodes: int,
+    penalty: float,
+    precond_factory: Callable[[sp.csr_matrix], Preconditioner],
+    *,
+    constraint_tol: float = 1e-8,
+    max_cycles: int = 50,
+    cg_eps: float = 1e-8,
+    cg_max_iter: int | None = None,
+) -> NonlinearContactResult:
+    """Augmented-Lagrange iteration for tied contact.
+
+    Parameters
+    ----------
+    a_free:
+        Stiffness with boundary conditions applied but *without* the
+        contact penalty (the ALM adds it here).
+    groups:
+        Contact groups (the constraints ``u_i = u_j`` inside each group).
+    penalty:
+        ALM penalty (the paper's lambda).
+    precond_factory:
+        Builds the preconditioner for the augmented matrix
+        ``A + penalty * C^T C`` once; reused across cycles.
+
+    Notes
+    -----
+    Constraint convergence is measured as
+    ``||C u|| / ||u||`` (relative constraint violation).
+    """
+    c = constraint_matrix(groups, n_nodes)
+    ctc = (c.T @ c).tocsr()
+    a_aug = (a_free + penalty * ctc).tocsr()
+    a_aug.sum_duplicates()
+    a_aug.sort_indices()
+    m = precond_factory(a_aug)
+
+    lam = np.zeros(c.shape[0])
+    u = np.zeros(a_free.shape[0])
+    cg_iters: list[int] = []
+    converged = False
+    gap_norm = np.inf
+    cycles = 0
+    for cycles in range(1, max_cycles + 1):
+        rhs = b - c.T @ lam
+        res = cg_solve(
+            a_aug, rhs, m, eps=cg_eps, max_iter=cg_max_iter, x0=u, record_history=False
+        )
+        u = res.x
+        cg_iters.append(res.iterations)
+        gap = c @ u
+        unorm = max(float(np.linalg.norm(u)), 1e-30)
+        gap_norm = float(np.linalg.norm(gap)) / unorm
+        if gap_norm <= constraint_tol:
+            converged = True
+            break
+        lam = lam + penalty * gap
+
+    return NonlinearContactResult(
+        u=u,
+        cycles=cycles,
+        converged=converged,
+        constraint_norm=gap_norm,
+        cg_iterations=cg_iters,
+    )

@@ -1,0 +1,12 @@
+"""GeoFEM-style file I/O.
+
+GeoFEM works from text mesh files and per-PE *distributed local data*
+files produced by its partitioner (paper section 2.1).  This package
+provides equivalents so meshes and partitions can be saved, inspected
+and reloaded — the workflow a downstream user of the real system has.
+"""
+
+from repro.io.meshio import read_mesh, write_mesh
+from repro.io.distio import read_local_data, write_local_data
+
+__all__ = ["read_mesh", "write_mesh", "read_local_data", "write_local_data"]

@@ -1,0 +1,78 @@
+"""Distributed local data files — GeoFEM's partitioner output (section 2.1).
+
+GeoFEM's partitioner runs on one PE and writes per-domain local data
+files: internal nodes, external nodes, and the communication tables each
+rank loads at start-up.  We serialize
+:class:`~repro.parallel.partition.LocalDomain` the same way (npz per
+rank) so partitions can be produced once and reloaded for many solves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.parallel.partition import LocalDomain
+
+
+def write_local_data(domains: list[LocalDomain], directory: str | Path) -> list[Path]:
+    """Write one ``domain.<rank>.npz`` file per domain; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for dom in domains:
+        payload: dict[str, np.ndarray] = {
+            "rank": np.array([dom.rank]),
+            "b": np.array([dom.b]),
+            "internal_nodes": dom.internal_nodes,
+            "external_nodes": dom.external_nodes,
+            "a_data": dom.a_local.data,
+            "a_indices": dom.a_local.indices,
+            "a_indptr": dom.a_local.indptr,
+            "a_shape": np.array(dom.a_local.shape),
+            "neighbors_recv": np.array(sorted(dom.recv_tables), dtype=np.int64),
+            "neighbors_send": np.array(sorted(dom.send_tables), dtype=np.int64),
+        }
+        for nbr, table in dom.recv_tables.items():
+            payload[f"recv_{nbr}"] = table
+        for nbr, table in dom.send_tables.items():
+            payload[f"send_{nbr}"] = table
+        path = directory / f"domain.{dom.rank}.npz"
+        np.savez_compressed(path, **payload)
+        paths.append(path)
+    return paths
+
+
+def read_local_data(directory: str | Path) -> list[LocalDomain]:
+    """Read every ``domain.<rank>.npz`` in *directory*, ordered by rank."""
+    directory = Path(directory)
+    files = sorted(directory.glob("domain.*.npz"), key=lambda p: int(p.suffixes[0][1:]))
+    if not files:
+        raise FileNotFoundError(f"no domain.*.npz files in {directory}")
+    domains = []
+    for path in files:
+        with np.load(path) as z:
+            a_local = sp.csr_matrix(
+                (z["a_data"], z["a_indices"], z["a_indptr"]),
+                shape=tuple(z["a_shape"]),
+            )
+            dom = LocalDomain(
+                rank=int(z["rank"][0]),
+                internal_nodes=z["internal_nodes"],
+                external_nodes=z["external_nodes"],
+                a_local=a_local,
+                b=int(z["b"][0]),
+            )
+            dom.recv_tables = {
+                int(n): z[f"recv_{int(n)}"] for n in z["neighbors_recv"]
+            }
+            dom.send_tables = {
+                int(n): z[f"send_{int(n)}"] for n in z["neighbors_send"]
+            }
+        domains.append(dom)
+    expected = list(range(len(domains)))
+    if [d.rank for d in domains] != expected:
+        raise ValueError(f"domain files do not cover ranks {expected}")
+    return domains

@@ -1,0 +1,108 @@
+"""Text mesh file format (GeoFEM-flavoured, self-describing).
+
+Layout::
+
+    !MESH <n_nodes> <n_elem>
+    !NODE
+    x y z           (one line per node)
+    !ELEMENT HEX8
+    n0 .. n7 mat    (one line per element, material id last)
+    !NODESET <name> <count>
+    id id id ...
+    !CONTACT <count>
+    id id ...       (one group per line)
+
+Whitespace separated, ``#`` comments allowed, order of sections after
+!NODE/!ELEMENT free.  Round-trips everything :class:`repro.fem.Mesh`
+carries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+
+
+def write_mesh(mesh: Mesh, path: str | Path) -> None:
+    """Write *mesh* to a text file (see module docstring for the format)."""
+    path = Path(path)
+    lines: list[str] = [f"!MESH {mesh.n_nodes} {mesh.n_elem}", "!NODE"]
+    for xyz in mesh.coords:
+        lines.append(f"{xyz[0]:.17g} {xyz[1]:.17g} {xyz[2]:.17g}")
+    lines.append("!ELEMENT HEX8")
+    for hexa, mat in zip(mesh.hexes, mesh.material_ids):
+        lines.append(" ".join(str(int(n)) for n in hexa) + f" {int(mat)}")
+    for name, nodes in sorted(mesh.node_sets.items()):
+        lines.append(f"!NODESET {name} {len(nodes)}")
+        lines.append(" ".join(str(int(n)) for n in nodes))
+    if mesh.contact_groups:
+        lines.append(f"!CONTACT {len(mesh.contact_groups)}")
+        for g in mesh.contact_groups:
+            lines.append(" ".join(str(int(n)) for n in g))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_mesh(path: str | Path) -> Mesh:
+    """Read a mesh written by :func:`write_mesh`."""
+    tokens = _tokenize(Path(path))
+    it = iter(tokens)
+
+    def expect(tag: str) -> list[str]:
+        tok = next(it)
+        if tok[0] != tag:
+            raise ValueError(f"expected {tag}, found {tok[0]}")
+        return tok
+
+    header = expect("!MESH")
+    n_nodes, n_elem = int(header[1]), int(header[2])
+    expect("!NODE")
+    coords = np.empty((n_nodes, 3))
+    for i in range(n_nodes):
+        row = next(it)
+        coords[i] = [float(v) for v in row[:3]]
+    tag = expect("!ELEMENT")
+    if tag[1] != "HEX8":
+        raise ValueError(f"unsupported element type {tag[1]!r}")
+    hexes = np.empty((n_elem, 8), dtype=np.int64)
+    mats = np.zeros(n_elem, dtype=np.int64)
+    for e in range(n_elem):
+        row = next(it)
+        hexes[e] = [int(v) for v in row[:8]]
+        mats[e] = int(row[8]) if len(row) > 8 else 0
+
+    node_sets: dict[str, np.ndarray] = {}
+    groups: list[np.ndarray] = []
+    for tok in it:
+        if tok[0] == "!NODESET":
+            name, count = tok[1], int(tok[2])
+            ids = next(it) if count else []
+            node_sets[name] = np.array([int(v) for v in ids], dtype=np.int64)
+            if node_sets[name].size != count:
+                raise ValueError(f"node set {name}: expected {count} ids")
+        elif tok[0] == "!CONTACT":
+            count = int(tok[1])
+            for _ in range(count):
+                groups.append(np.array([int(v) for v in next(it)], dtype=np.int64))
+        else:
+            raise ValueError(f"unknown section {tok[0]!r}")
+
+    return Mesh(
+        coords=coords,
+        hexes=hexes,
+        node_sets=node_sets,
+        contact_groups=groups,
+        material_ids=mats,
+    )
+
+
+def _tokenize(path: Path) -> list[list[str]]:
+    """Non-empty, comment-stripped lines split into tokens."""
+    out = []
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            out.append(line.split())
+    return out

@@ -1,0 +1,32 @@
+"""Distributed-memory emulation of GeoFEM's parallel solver (section 2).
+
+Node-based domain partitioning with internal / external / boundary nodes
+and explicit communication tables (Figs. 3-4), a lockstep in-process
+communicator standing in for MPI, the contact-aware repartitioner of
+Fig. 8, and a genuinely distributed parallel CG whose iterates match the
+sequential solver bit-for-bit in exact arithmetic.
+"""
+
+from repro.parallel.partition import (
+    LocalDomain,
+    build_domains,
+    partition_nodes_rcb,
+)
+from repro.parallel.contact_partition import (
+    contact_aware_partition,
+    partition_quality,
+)
+from repro.parallel.comm import CommLog, LockstepComm
+from repro.parallel.distributed import DistributedSystem, parallel_cg
+
+__all__ = [
+    "LocalDomain",
+    "build_domains",
+    "partition_nodes_rcb",
+    "contact_aware_partition",
+    "partition_quality",
+    "CommLog",
+    "LockstepComm",
+    "DistributedSystem",
+    "parallel_cg",
+]

@@ -1,0 +1,82 @@
+"""In-process lockstep communicator standing in for MPI (see DESIGN.md).
+
+The communication pattern is GeoFEM's boundary exchange (Fig. 4): each
+domain SENDs its boundary-node values to the neighbors that list them,
+and RECEIVEs its external-node values from their owners.  Here the
+"messages" are numpy buffer copies executed synchronously, which keeps
+the algorithm identical to a real MPI run while remaining testable on
+one process — the mpi4py buffer-communication idiom without the runtime.
+
+Every exchange and reduction is tallied in :class:`CommLog`; the Earth
+Simulator performance model converts those counts into communication
+time (latency + volume / bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.partition import LocalDomain
+
+
+@dataclass
+class CommLog:
+    """Message census of a distributed solve."""
+
+    n_messages: int = 0
+    bytes_sent: int = 0
+    n_allreduce: int = 0
+    max_neighbor_count: int = 0
+    per_exchange_bytes: list[int] = field(default_factory=list)
+
+    def record_exchange(self, messages: list[int]) -> None:
+        self.n_messages += len(messages)
+        total = int(sum(messages))
+        self.bytes_sent += total
+        self.per_exchange_bytes.append(total)
+
+    def record_allreduce(self) -> None:
+        self.n_allreduce += 1
+
+
+class LockstepComm:
+    """Synchronous communicator over a list of local domains."""
+
+    def __init__(self, domains: list[LocalDomain]) -> None:
+        self.domains = domains
+        self.log = CommLog()
+        self.log.max_neighbor_count = max(
+            (len(d.recv_tables) for d in domains), default=0
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.domains)
+
+    def exchange_external(self, vectors: list[np.ndarray]) -> None:
+        """Fill every domain's external DOF slots from the owners.
+
+        ``vectors[d]`` is domain d's full local DOF vector (internal then
+        external); internal parts are read, external parts overwritten.
+        """
+        if len(vectors) != self.size:
+            raise ValueError(f"expected {self.size} vectors, got {len(vectors)}")
+        messages = []
+        for d, dom in enumerate(self.domains):
+            for owner, ext_local in dom.recv_tables.items():
+                peer = self.domains[owner]
+                src = peer.send_tables[d]
+                src_dofs = peer.local_dofs(src)
+                dst_dofs = dom.local_dofs(ext_local)
+                vectors[d][dst_dofs] = vectors[owner][src_dofs]
+                messages.append(src_dofs.size * 8)
+        self.log.record_exchange(messages)
+
+    def allreduce_sum(self, contributions: list[float]) -> float:
+        """Global sum (MPI_Allreduce) of one scalar per rank."""
+        if len(contributions) != self.size:
+            raise ValueError(f"expected {self.size} contributions, got {len(contributions)}")
+        self.log.record_allreduce()
+        return float(np.sum(contributions))

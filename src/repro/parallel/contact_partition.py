@@ -1,0 +1,80 @@
+"""Contact-aware partitioning with load balancing (paper Fig. 8, Table 3).
+
+The ORIGINAL partitioner cuts the mesh purely geometrically, so edges of
+contact groups get cut across domain boundaries; the localized
+preconditioner then never sees the penalty coupling and convergence
+collapses (Table 3, left).  The IMPROVED partitioner keeps every contact
+group on one domain *and* rebalances the load: we realize both steps in
+one pass by bisecting *entities* — each contact group collapsed to a
+weighted point at its centroid, free nodes as unit points — so whole
+groups move together and the weighted median keeps domains balanced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selective_blocking import validate_groups
+from repro.parallel.partition import partition_nodes_rcb
+
+
+def contact_aware_partition(
+    coords: np.ndarray,
+    groups: list[np.ndarray],
+    ndomains: int,
+) -> np.ndarray:
+    """Domain id per node; every contact group lands on one domain."""
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    groups = validate_groups(groups, n)
+
+    in_group = np.zeros(n, dtype=bool)
+    for g in groups:
+        in_group[g] = True
+    free = np.flatnonzero(~in_group)
+
+    # entity list: one centroid per group, then the free nodes
+    ent_coords = np.concatenate(
+        [
+            np.array([coords[g].mean(axis=0) for g in groups]).reshape(-1, 3)
+            if groups
+            else np.empty((0, 3)),
+            coords[free],
+        ]
+    )
+    ent_weights = np.concatenate(
+        [
+            np.array([g.size for g in groups], dtype=np.float64),
+            np.ones(free.size),
+        ]
+    )
+    ent_domain = partition_nodes_rcb(ent_coords, ndomains, weights=ent_weights)
+
+    node_domain = np.empty(n, dtype=np.int64)
+    for gi, g in enumerate(groups):
+        node_domain[g] = ent_domain[gi]
+    node_domain[free] = ent_domain[len(groups) :]
+    return node_domain
+
+
+def partition_quality(
+    node_domain: np.ndarray, groups: list[np.ndarray]
+) -> dict[str, float]:
+    """Fig. 8 metrics: group edge-cuts and load imbalance.
+
+    ``cut_groups`` counts contact groups spanning more than one domain
+    (each is a lost penalty coupling for localized preconditioning);
+    ``imbalance_percent`` is ``100 * (max - mean) / mean`` nodes/domain.
+    """
+    node_domain = np.asarray(node_domain, dtype=np.int64)
+    cut = sum(1 for g in groups if np.unique(node_domain[g]).size > 1)
+    counts = np.bincount(node_domain)
+    counts = counts[counts > 0]
+    imbalance = 100.0 * (counts.max() - counts.mean()) / counts.mean()
+    return {
+        "cut_groups": float(cut),
+        "total_groups": float(len(groups)),
+        "imbalance_percent": float(imbalance),
+        "max_nodes": float(counts.max()),
+        "min_nodes": float(counts.min()),
+    }

@@ -1,0 +1,168 @@
+"""Distributed parallel CG over the emulated communicator.
+
+All ranks execute the textbook preconditioned CG in lockstep: a boundary
+exchange before every matrix-vector product, per-rank partial dot
+products combined by (emulated) allreduce, and a *localized*
+preconditioner applied to internal DOFs with no communication — exactly
+the GeoFEM solver of paper section 2.2.  In exact arithmetic the iterates
+coincide with a sequential CG preconditioned by
+:class:`~repro.precond.localized.LocalizedPreconditioner`; the tests
+assert that correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.parallel.comm import CommLog, LockstepComm
+from repro.parallel.partition import LocalDomain, build_domains
+from repro.precond.base import Preconditioner
+from repro.solvers.cg import CGResult
+from repro.utils.timing import Timer
+
+LocalPrecondFactory = Callable[[sp.csr_matrix, np.ndarray], Preconditioner]
+
+
+@dataclass
+class DistributedSystem:
+    """A partitioned SPD system ready for :func:`parallel_cg`."""
+
+    domains: list[LocalDomain]
+    comm: LockstepComm
+    preconds: list[Preconditioner]
+    b_parts: list[np.ndarray]  # internal-DOF right-hand sides
+    node_domain: np.ndarray
+    ndof: int
+
+    @classmethod
+    def from_global(
+        cls,
+        a,
+        b_vec: np.ndarray,
+        node_domain: np.ndarray,
+        precond_factory: LocalPrecondFactory,
+        b: int = 3,
+    ) -> "DistributedSystem":
+        """Partition a global system and build per-domain preconditioners.
+
+        The preconditioner factory receives each domain's *internal*
+        sub-matrix (external couplings dropped — the localized
+        preconditioning of section 2.2) plus the global ids of the
+        domain's nodes.
+        """
+        domains = build_domains(a, node_domain, b=b)
+        comm = LockstepComm(domains)
+        preconds, b_parts = [], []
+        for dom in domains:
+            ni_dof = dom.n_internal * b
+            local_internal = dom.a_local[:, :ni_dof].tocsr()
+            preconds.append(precond_factory(local_internal, dom.internal_nodes))
+            rows_dof = (dom.internal_nodes[:, None] * b + np.arange(b)).reshape(-1)
+            b_parts.append(np.asarray(b_vec, dtype=np.float64)[rows_dof])
+        return cls(
+            domains=domains,
+            comm=comm,
+            preconds=preconds,
+            b_parts=b_parts,
+            node_domain=np.asarray(node_domain, dtype=np.int64),
+            ndof=int(np.asarray(b_vec).size),
+        )
+
+    def gather_global(self, x_parts: list[np.ndarray]) -> np.ndarray:
+        """Assemble the global solution from internal parts."""
+        out = np.empty(self.ndof)
+        for dom, xp in zip(self.domains, x_parts):
+            b = dom.b
+            rows_dof = (dom.internal_nodes[:, None] * b + np.arange(b)).reshape(-1)
+            out[rows_dof] = xp
+        return out
+
+    @property
+    def comm_log(self) -> CommLog:
+        return self.comm.log
+
+
+def parallel_cg(
+    system: DistributedSystem,
+    *,
+    eps: float = 1e-8,
+    max_iter: int = 10000,
+) -> CGResult:
+    """Lockstep preconditioned CG on a distributed system."""
+    domains = system.domains
+    comm = system.comm
+    nd = len(domains)
+    b = domains[0].b
+
+    def full(vparts: list[np.ndarray]) -> list[np.ndarray]:
+        """Extend internal vectors with external slots (zeros)."""
+        return [
+            np.concatenate([vp, np.zeros((dom.n_local - dom.n_internal) * b)])
+            for vp, dom in zip(vparts, domains)
+        ]
+
+    def matvec(p_parts: list[np.ndarray]) -> list[np.ndarray]:
+        fullp = full(p_parts)
+        comm.exchange_external(fullp)
+        return [dom.a_local @ fp for dom, fp in zip(domains, fullp)]
+
+    def dot(u_parts, v_parts) -> float:
+        return comm.allreduce_sum([float(u @ v) for u, v in zip(u_parts, v_parts)])
+
+    x = [np.zeros_like(bp) for bp in system.b_parts]
+    timer = Timer()
+    with timer:
+        r = [bp.copy() for bp in system.b_parts]  # x0 = 0
+        bnorm = np.sqrt(dot(r, r))
+        if bnorm == 0.0:
+            return CGResult(
+                x=system.gather_global(x),
+                iterations=0,
+                converged=True,
+                relative_residual=0.0,
+                solve_seconds=0.0,
+            )
+        z = [m.apply(rp) for m, rp in zip(system.preconds, r)]
+        p = [zp.copy() for zp in z]
+        rz = dot(r, z)
+        relres = np.sqrt(dot(r, r)) / bnorm
+        history = [relres]
+        it = 0
+        converged = relres <= eps
+        while not converged and it < max_iter:
+            q = matvec(p)
+            pq = dot(p, q)
+            if pq <= 0 or not np.isfinite(pq):
+                break
+            alpha = rz / pq
+            for d in range(nd):
+                x[d] += alpha * p[d]
+                r[d] -= alpha * q[d]
+            it += 1
+            relres = np.sqrt(dot(r, r)) / bnorm
+            history.append(relres)
+            if not np.isfinite(relres):
+                break
+            if relres <= eps:
+                converged = True
+                break
+            z = [m.apply(rp) for m, rp in zip(system.preconds, r)]
+            rz_new = dot(r, z)
+            beta = rz_new / rz
+            rz = rz_new
+            for d in range(nd):
+                p[d] = z[d] + beta * p[d]
+
+    return CGResult(
+        x=system.gather_global(x),
+        iterations=it,
+        converged=converged,
+        relative_residual=float(relres),
+        solve_seconds=timer.elapsed,
+        setup_seconds=sum(m.setup_seconds for m in system.preconds),
+        history=np.asarray(history),
+    )

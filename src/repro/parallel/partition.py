@@ -1,0 +1,201 @@
+"""Node-based domain partitioning with GeoFEM's local data structure.
+
+Paper section 2.1 / Fig. 3: each domain owns its *internal* nodes, keeps
+copies of the *external* nodes that its rows reference, and marks the
+internal nodes referenced by other domains as *boundary* nodes.  The
+communication tables (which boundary values to send to which neighbor,
+which external slots to fill on receive) are precomputed here, exactly
+like GeoFEM's partitioner output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validate import check_index_array, check_square_csr
+
+
+def partition_nodes_rcb(
+    coords: np.ndarray,
+    ndomains: int,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Recursive coordinate bisection into ``ndomains`` parts.
+
+    Splits along the widest axis at the weighted median; supports any
+    domain count (not just powers of two) by splitting proportionally.
+    Returns the domain id per point.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if ndomains < 1:
+        raise ValueError(f"ndomains must be >= 1, got {ndomains}")
+    if ndomains > n:
+        raise ValueError(f"cannot cut {n} points into {ndomains} non-empty domains")
+    if weights is None:
+        weights = np.ones(n)
+    out = np.empty(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, base: int, k: int) -> None:
+        if k == 1:
+            out[idx] = base
+            return
+        pts = coords[idx]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        k_left = k // 2
+        order = np.argsort(pts[:, axis], kind="stable")
+        w = weights[idx][order]
+        target = w.sum() * (k_left / k)
+        cum = np.cumsum(w)
+        cut = int(np.searchsorted(cum, target)) + 1
+        cut = min(max(cut, 1), idx.size - 1)
+        left = idx[order[:cut]]
+        right = idx[order[cut:]]
+        recurse(left, base, k_left)
+        recurse(right, base + k_left, k - k_left)
+
+    recurse(np.arange(n, dtype=np.int64), 0, ndomains)
+    return out
+
+
+@dataclass
+class LocalDomain:
+    """One domain's local data, GeoFEM style.
+
+    The local numbering places the ``n_internal`` internal nodes first,
+    followed by the external nodes.  ``a_local`` holds the rows of the
+    internal nodes with columns in local numbering.  Communication tables
+    map neighbor rank -> local node indices.
+    """
+
+    rank: int
+    internal_nodes: np.ndarray  # global ids, ascending
+    external_nodes: np.ndarray  # global ids, ascending
+    a_local: sp.csr_matrix  # (internal DOFs) x (internal+external DOFs)
+    send_tables: dict[int, np.ndarray] = field(default_factory=dict)  # local *internal* node idx
+    recv_tables: dict[int, np.ndarray] = field(default_factory=dict)  # local *external* node idx
+    b: int = 3
+
+    @property
+    def n_internal(self) -> int:
+        return int(self.internal_nodes.size)
+
+    @property
+    def n_local(self) -> int:
+        return int(self.internal_nodes.size + self.external_nodes.size)
+
+    @property
+    def boundary_nodes(self) -> np.ndarray:
+        """Local indices of internal nodes any neighbor needs (Fig. 3)."""
+        if not self.send_tables:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(list(self.send_tables.values())))
+
+    def local_dofs(self, local_nodes: np.ndarray) -> np.ndarray:
+        return (np.asarray(local_nodes)[:, None] * self.b + np.arange(self.b)).reshape(-1)
+
+
+def overlapping_elements(
+    hexes: np.ndarray, node_domain: np.ndarray
+) -> list[np.ndarray]:
+    """Per-domain overlapping element lists (Fig. 3's local data).
+
+    GeoFEM's local data includes every element that touches one of the
+    domain's internal nodes, so stiffness assembly needs no
+    communication (section 2.1).  Elements along boundaries appear in
+    several domains — that is the overlap.
+    """
+    hexes = np.asarray(hexes, dtype=np.int64)
+    node_domain = np.asarray(node_domain, dtype=np.int64)
+    ndom = int(node_domain.max()) + 1
+    elem_domains = node_domain[hexes]  # (e, 8)
+    out = []
+    for d in range(ndom):
+        out.append(np.flatnonzero((elem_domains == d).any(axis=1)).astype(np.int64))
+    return out
+
+
+def build_domains(
+    a, node_domain: np.ndarray, b: int = 3
+) -> list[LocalDomain]:
+    """Cut the global matrix into GeoFEM local data structures.
+
+    ``a`` is the global scalar CSR (``n_nodes * b`` square); the block
+    graph of ``a`` defines node adjacency, so external nodes are exactly
+    the off-domain columns referenced by a domain's rows.
+    """
+    a = check_square_csr(a)
+    n_nodes = a.shape[0] // b
+    node_domain = check_index_array(
+        np.asarray(node_domain, dtype=np.int64),
+        int(node_domain.max()) + 1,
+        "node_domain",
+    )
+    if node_domain.size != n_nodes:
+        raise ValueError(f"{node_domain.size} domain ids for {n_nodes} nodes")
+    ndomains = int(node_domain.max()) + 1
+
+    # Node-level adjacency from the scalar pattern.
+    coo = a.tocoo()
+    ni = coo.row // b
+    nj = coo.col // b
+
+    domains: list[LocalDomain] = []
+    for d in range(ndomains):
+        internal = np.flatnonzero(node_domain == d).astype(np.int64)
+        if internal.size == 0:
+            raise ValueError(f"domain {d} is empty")
+        # external nodes: columns of my rows owned elsewhere
+        mine = node_domain[ni] == d
+        ext = np.unique(nj[mine & (node_domain[nj] != d)])
+        glob2loc = np.full(n_nodes, -1, dtype=np.int64)
+        glob2loc[internal] = np.arange(internal.size)
+        glob2loc[ext] = internal.size + np.arange(ext.size)
+
+        rows_dof = (internal[:, None] * b + np.arange(b)).reshape(-1)
+        sub = a[rows_dof]  # rows restricted
+        subc = sub.tocoo()
+        # map global DOF columns to local DOF columns
+        col_nodes = subc.col // b
+        local_cols = glob2loc[col_nodes] * b + subc.col % b
+        if (glob2loc[col_nodes] < 0).any():
+            raise AssertionError("row references a node that is neither internal nor external")
+        nloc = internal.size + ext.size
+        a_local = sp.csr_matrix(
+            (subc.data, (subc.row, local_cols)), shape=(rows_dof.size, nloc * b)
+        )
+        a_local.sum_duplicates()
+        a_local.sort_indices()
+
+        # receive tables: external nodes grouped by owner
+        recv: dict[int, np.ndarray] = {}
+        for owner in np.unique(node_domain[ext]):
+            nodes = ext[node_domain[ext] == owner]
+            recv[int(owner)] = glob2loc[nodes]  # local ext indices, ascending global order
+        domains.append(
+            LocalDomain(
+                rank=d,
+                internal_nodes=internal,
+                external_nodes=ext,
+                a_local=a_local,
+                recv_tables=recv,
+                b=b,
+            )
+        )
+
+    # send tables mirror the receive tables: what d receives from e is
+    # exactly what e sends to d, ordered by ascending global node id.
+    for d, dom in enumerate(domains):
+        for owner, ext_local in dom.recv_tables.items():
+            peer = domains[owner]
+            glob = dom.external_nodes[ext_local - dom.n_internal]
+            g2l = np.full(0, 0)
+            loc = np.searchsorted(peer.internal_nodes, glob)
+            if not np.array_equal(peer.internal_nodes[loc], glob):
+                raise AssertionError("receive table references non-internal nodes of the owner")
+            peer.send_tables[d] = loc.astype(np.int64)
+            del g2l
+    return domains

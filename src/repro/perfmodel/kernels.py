@@ -1,0 +1,205 @@
+"""Per-iteration operation census of the preconditioned CG solver.
+
+One CG iteration with block-IC preconditioning executes (section 2.2):
+
+- one block sparse matrix-vector product (18 flops per 3x3 block),
+- forward + backward substitution over the lower factor (18 flops per
+  off-diagonal block per pass, plus ``2 s^2`` per diagonal solve),
+- three dot products and three daxpy/scaling passes (BLAS-1).
+
+The census records, per *SMP node*, the flop counts and the innermost
+vector-loop length histograms of each phase — measured from the real
+DJDS structures of a factorization, or synthesized analytically by
+:mod:`~repro.perfmodel.spec` for problem sizes too large to assemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.precond.icfact import BlockICFactorization
+from repro.reorder.coloring import Coloring
+from repro.sparse.bcsr import BCSRMatrix
+from repro.sparse.djds import build_djds
+
+# flops per scalar matrix entry in y += A x (one multiply, one add)
+FLOPS_PER_ENTRY = 2.0
+
+
+@dataclass
+class VectorWork:
+    """One phase's vector loops: lengths + flops per loop element."""
+
+    loop_lengths: np.ndarray
+    flops_per_element: float
+
+    @property
+    def flops(self) -> float:
+        return float(self.loop_lengths.sum() * self.flops_per_element)
+
+
+@dataclass
+class SolverOpCensus:
+    """Operation census for one SMP node and one CG iteration.
+
+    ``phases`` hold the vectorizable work of the *whole node*: every
+    innermost loop of every PE after PDJDS distribution is listed
+    individually, so summing gives per-node flops while dividing the
+    pipeline time by ``pe_per_node`` gives the concurrent wall time.
+    ``openmp_barriers`` counts the parallel-region synchronizations per
+    iteration in the hybrid model; ``neighbor_message_bytes`` is the
+    per-neighbor boundary-exchange size of this node.
+    """
+
+    ndof_node: int
+    pe_per_node: int = 8
+    phases: list[VectorWork] = field(default_factory=list)
+    openmp_barriers: int = 0
+    neighbor_message_bytes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    exchanges_per_iteration: int = 1
+    allreduce_per_iteration: int = 3
+
+    @property
+    def flops_per_iteration(self) -> float:
+        """Total flops one SMP node executes per CG iteration."""
+        return float(sum(p.flops for p in self.phases))
+
+    def scaled(self, factor: float) -> "SolverOpCensus":
+        """Census of a geometrically similar problem ``factor``x larger.
+
+        Loop lengths and flop counts scale linearly with the DOF count;
+        boundary-face message sizes scale with ``factor^(2/3)``.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return SolverOpCensus(
+            ndof_node=int(round(self.ndof_node * factor)),
+            pe_per_node=self.pe_per_node,
+            phases=[
+                VectorWork(p.loop_lengths * factor, p.flops_per_element)
+                for p in self.phases
+            ],
+            openmp_barriers=self.openmp_barriers,
+            neighbor_message_bytes=self.neighbor_message_bytes * factor ** (2.0 / 3.0),
+            exchanges_per_iteration=self.exchanges_per_iteration,
+            allreduce_per_iteration=self.allreduce_per_iteration,
+        )
+
+
+def census_from_factorization(
+    a: BCSRMatrix,
+    precond: BlockICFactorization,
+    npe: int = 8,
+    neighbor_message_bytes: np.ndarray | None = None,
+) -> SolverOpCensus:
+    """Measured census: DJDS loop structure of a real factorization.
+
+    ``a`` is the (single-node) stiffness matrix; ``precond`` supplies the
+    super-node coloring, sizes and lower-factor structure.  The DJDS
+    layout is built on the super-node graph with the factorization's own
+    schedule, so the loop-length histogram is exactly what the vector
+    hardware would execute (including size-sorting and dummy padding).
+    """
+    ndof = a.ndof
+
+    # --- matvec over the full block pattern, colored like the factor
+    coloring = _schedule_coloring(precond)
+    adj_super = _supernode_graph(precond)
+    djds = build_djds(
+        adj_super,
+        coloring,
+        npe=npe,
+        sizes=precond.sizes,
+        sort_by_size=True,
+        pad_dummies=True,
+    )
+    # flops per loop element: one loop element is one super-node block;
+    # its cost is the dense (si x sj) block-vector product, so use the
+    # mean block area (total scalar entries / super-node blocks).
+    nnzb_super = int(adj_super.nnz + adj_super.shape[0])
+    mean_block_area = (9.0 * a.nnzb) / max(nnzb_super, 1)
+    matvec = VectorWork(
+        loop_lengths=djds.stats.loop_lengths.astype(np.float64),
+        flops_per_element=FLOPS_PER_ENTRY * mean_block_area,
+    )
+
+    # --- preconditioner: two substitution passes over the lower factor.
+    # The lower loops have the same count structure as the matvec DJDS
+    # but roughly half the entries per row; model each pass with the
+    # matvec loop histogram scaled by the lower/total entry ratio.
+    lower_blocks = float(precond.lower_offdiag_count())
+    total_offdiag = float(max(nnzb_super - adj_super.shape[0], 1))
+    ratio = lower_blocks / total_offdiag
+    subst_lengths = np.concatenate(
+        [djds.stats.loop_lengths * ratio, djds.stats.loop_lengths * ratio]
+    )
+    mean_offdiag_area = _mean_offdiag_area(precond)
+    precond_work = VectorWork(
+        loop_lengths=subst_lengths,
+        flops_per_element=FLOPS_PER_ENTRY * mean_offdiag_area,
+    )
+    # block-diagonal solves: 2 s^2 flops per super-node per pass
+    mean_sq = float((precond.sizes.astype(np.float64) ** 2).mean())
+    group_sz = precond.group_sizes().astype(np.float64)
+    diag_lengths = np.repeat(group_sz / npe, npe * 2)  # fwd + bwd, per PE
+    diag_work = VectorWork(
+        loop_lengths=diag_lengths,
+        flops_per_element=2.0 * mean_sq,
+    )
+
+    # --- BLAS-1: 3 dots + 3 daxpy over ndof, split over PEs
+    blas1 = VectorWork(
+        loop_lengths=np.full(6 * npe, ndof / npe, dtype=np.float64),
+        flops_per_element=FLOPS_PER_ENTRY,
+    )
+
+    barriers = 2 * len(precond.schedule) + 6
+    return SolverOpCensus(
+        ndof_node=ndof,
+        pe_per_node=npe,
+        phases=[matvec, precond_work, diag_work, blas1],
+        openmp_barriers=barriers,
+        neighbor_message_bytes=(
+            neighbor_message_bytes
+            if neighbor_message_bytes is not None
+            else np.empty(0)
+        ),
+    )
+
+
+def _schedule_coloring(precond: BlockICFactorization) -> Coloring:
+    """Coloring over super-nodes matching the factorization schedule."""
+    colors = np.empty(precond.L.N, dtype=np.int64)
+    for g, members in enumerate(precond.schedule):
+        colors[members] = g
+    return Coloring(colors=colors, ncolors=len(precond.schedule))
+
+
+def _supernode_graph(precond: BlockICFactorization):
+    """Symmetric super-node adjacency of the factor's level-0 pattern."""
+    import scipy.sparse as sp
+
+    from repro.reorder.graph import adjacency_from_pattern
+
+    lower = sp.csr_matrix(
+        (
+            np.ones(precond.L.nnzb),
+            precond.L.indices,
+            precond.L.indptr,
+        ),
+        shape=(precond.L.N, precond.L.N),
+    )
+    return adjacency_from_pattern(lower)
+
+
+def _mean_offdiag_area(precond: BlockICFactorization) -> float:
+    brow = precond.L.block_rows()
+    off = precond.L.indices != brow
+    if not off.any():
+        return 9.0
+    areas = precond.sizes[brow[off]] * precond.sizes[precond.L.indices[off]]
+    return float(areas.mean())

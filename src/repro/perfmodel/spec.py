@@ -1,0 +1,83 @@
+"""Analytic operation census for structured box problems.
+
+The weak-scaling figures (16-19) reach 2.2 G DOF — far beyond what we
+can assemble — but for the homogeneous box of Fig. 14 every census
+quantity has a closed form: a 27-point node stencil, face-sized boundary
+messages, and CM-RCM loops of length ``n_nodes / (ncolors * npe)``.
+This module synthesizes the same :class:`SolverOpCensus` the measured
+path produces, so the machine model treats both identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.kernels import FLOPS_PER_ENTRY, SolverOpCensus, VectorWork
+
+
+@dataclass(frozen=True)
+class StructuredSpec:
+    """One SMP node's share of a structured 3-D elastic box problem.
+
+    ``(nx, ny, nz)`` are the node counts (not elements) of this node's
+    subdomain; DOF = ``3 nx ny nz``.  ``ncolors`` is the CM-RCM color
+    count (the paper uses 99 for these runs).
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    ncolors: int = 99
+    npe: int = 8
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def ndof(self) -> int:
+        return 3 * self.n_nodes
+
+    def census(self) -> SolverOpCensus:
+        """Analytic per-iteration census of one SMP node."""
+        nn = float(self.n_nodes)
+        nnzb = 27.0 * nn  # 27-point stencil: blocks per row
+        lower_b = 13.0 * nn  # strictly lower blocks
+
+        rows_per_loop = max(nn / (self.ncolors * self.npe), 1.0)
+
+        def phase(n_nests: int, total_blocks: float, block_flops: float) -> VectorWork:
+            """Vector loops of one phase, node level: each of the
+            ``n_nests`` loop nests runs as ``npe`` concurrent loops."""
+            n_loops = n_nests * self.npe
+            per_elem = block_flops * total_blocks / (n_loops * rows_per_loop)
+            return VectorWork(
+                loop_lengths=np.full(n_loops, rows_per_loop),
+                flops_per_element=per_elem,
+            )
+
+        # matvec: 26 off-diagonal jagged diagonals + diagonal pass / color
+        matvec = phase(self.ncolors * 27, nnzb, FLOPS_PER_ENTRY * 9.0)
+        # substitution: 13 jagged diagonals per color, forward + backward
+        subst = phase(2 * self.ncolors * 13, 2.0 * lower_b, FLOPS_PER_ENTRY * 9.0)
+        # 3x3 block-diagonal solves, one per node per pass
+        diag = phase(2 * self.ncolors, 2.0 * nn, 2.0 * 9.0)
+        blas1 = VectorWork(
+            loop_lengths=np.full(6 * self.npe, self.ndof / self.npe),
+            flops_per_element=FLOPS_PER_ENTRY,
+        )
+
+        # 6 face neighbors; message = face nodes * 3 DOF * 8 bytes.
+        faces = np.array(
+            [self.ny * self.nz] * 2 + [self.nx * self.nz] * 2 + [self.nx * self.ny] * 2,
+            dtype=np.float64,
+        )
+        return SolverOpCensus(
+            ndof_node=self.ndof,
+            pe_per_node=self.npe,
+            phases=[matvec, subst, diag, blas1],
+            openmp_barriers=2 * self.ncolors + 6,
+            neighbor_message_bytes=faces * 3.0 * 8.0,
+        )

@@ -1,0 +1,35 @@
+"""Preconditioner interface shared by the solver and analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Preconditioner:
+    """Abstract action ``z = M^{-1} r`` plus bookkeeping for the benches.
+
+    Subclasses set :attr:`name`, :attr:`setup_seconds` and implement
+    :meth:`apply` and :meth:`memory_bytes`.
+    """
+
+    name: str = "none"
+    setup_seconds: float = 0.0
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Storage attributable to the preconditioner (Table 2 census)."""
+        return 0
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No preconditioning (plain CG)."""
+
+    name = "identity"
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r.copy()

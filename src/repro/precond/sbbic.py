@@ -1,0 +1,56 @@
+"""SB-BIC(0): block IC(0) with selective blocking reordering.
+
+The paper's core contribution (section 3).  Strongly-coupled nodes of one
+contact group form one *selective block*; the local equations of the
+group are solved exactly (full LU of the dense ``3NB x 3NB`` diagonal
+block) during preconditioning, while no inter-block fill is kept — so the
+memory footprint stays at the BIC(0) level (Tables 2 and 4) yet the
+preconditioner is robust for penalty parameters up to 1e10 (Appendix A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selective_blocking import selective_block_supernodes
+from repro.precond.icfact import BlockICFactorization
+
+
+def sb_bic0(
+    a,
+    contact_groups: list[np.ndarray],
+    *,
+    n_nodes: int | None = None,
+    b: int = 3,
+    ncolors: int = 0,
+    variant: str = "auto",
+    sort_blocks_by_size: bool = True,
+) -> BlockICFactorization:
+    """Selective-blocking block IC(0) preconditioner.
+
+    Parameters
+    ----------
+    a:
+        SPD stiffness matrix (scalar CSR, dimension ``n_nodes * b``).
+    contact_groups:
+        Node-index groups of strongly coupled (penalty-tied) nodes; nodes
+        outside every group become size-1 selective blocks.
+    sort_blocks_by_size:
+        Sort selective blocks by size inside each color (paper Fig. 22);
+        disabling it reproduces the "without reordering" case of Fig. 28.
+    """
+    ndof = a.shape[0]
+    if ndof % b:
+        raise ValueError(f"matrix dimension {ndof} is not a multiple of block size {b}")
+    if n_nodes is None:
+        n_nodes = ndof // b
+    supernodes = selective_block_supernodes(contact_groups, n_nodes, b=b)
+    return BlockICFactorization(
+        a,
+        supernodes,
+        fill_level=0,
+        ncolors=ncolors,
+        variant=variant,
+        sort_blocks_by_size=sort_blocks_by_size,
+        name="SB-BIC(0)",
+    )

@@ -1,0 +1,22 @@
+"""Krylov solvers.
+
+- :func:`~repro.solvers.cg.cg_solve` — preconditioned conjugate
+  gradients, the paper's solver for the frictionless (SPD) case.
+- :func:`~repro.solvers.bicgstab.bicgstab_solve` and
+  :func:`~repro.solvers.gmres.gmres_solve` — nonsymmetric companions for
+  the frictional-contact extension (the paper's future-work case).
+"""
+
+from repro.solvers.bicgstab import bicgstab_solve
+from repro.solvers.cg import CGResult, cg_solve
+from repro.solvers.gmres import gmres_solve
+from repro.solvers.history import ConvergenceProfile, analyze_history
+
+__all__ = [
+    "CGResult",
+    "cg_solve",
+    "bicgstab_solve",
+    "gmres_solve",
+    "ConvergenceProfile",
+    "analyze_history",
+]

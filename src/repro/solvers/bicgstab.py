@@ -1,0 +1,110 @@
+"""Preconditioned BiCGSTAB for nonsymmetric systems.
+
+The paper's systems are SPD because friction is neglected (section 5.1:
+"If friction is not considered at fault surfaces, the coefficient matrix
+is symmetric positive definite; therefore, the CG method was adopted").
+GeoFEM's solver library also ships nonsymmetric Krylov methods for the
+frictional case the paper defers to future work; this module provides
+that path so the frictional-contact extension
+(:mod:`repro.fem.friction`) is solvable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import IdentityPreconditioner, Preconditioner
+from repro.solvers.cg import CGResult, _as_matvec
+from repro.utils.timing import Timer
+
+
+def bicgstab_solve(
+    a,
+    b: np.ndarray,
+    preconditioner: Preconditioner | None = None,
+    *,
+    eps: float = 1e-8,
+    max_iter: int | None = None,
+    x0: np.ndarray | None = None,
+    record_history: bool = True,
+) -> CGResult:
+    """Solve ``A x = b`` by right-preconditioned BiCGSTAB.
+
+    Returns the same :class:`~repro.solvers.cg.CGResult` container as the
+    CG solver (one "iteration" = one BiCGSTAB step = two matvecs).
+    """
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    m = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    if max_iter is None:
+        max_iter = max(1000, 10 * n)
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(
+            x=np.zeros(n), iterations=0, converged=True,
+            relative_residual=0.0, solve_seconds=0.0,
+            setup_seconds=m.setup_seconds,
+        )
+
+    timer = Timer()
+    history = []
+    with timer:
+        r = b - matvec(x)
+        r_hat = r.copy()
+        rho = alpha = omega = 1.0
+        v = np.zeros(n)
+        p = np.zeros(n)
+        relres = float(np.linalg.norm(r)) / bnorm
+        history.append(relres)
+        it = 0
+        converged = relres <= eps
+        while not converged and it < max_iter:
+            rho_new = float(r_hat @ r)
+            if rho_new == 0.0 or not np.isfinite(rho_new):
+                break  # breakdown
+            beta = (rho_new / rho) * (alpha / omega) if it else 0.0
+            rho = rho_new
+            p = r + beta * (p - omega * v) if it else r.copy()
+            phat = m.apply(p)
+            v = matvec(phat)
+            denom = float(r_hat @ v)
+            if denom == 0.0 or not np.isfinite(denom):
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            if np.linalg.norm(s) / bnorm <= eps:
+                x += alpha * phat
+                it += 1
+                relres = float(np.linalg.norm(b - matvec(x))) / bnorm
+                history.append(relres)
+                converged = relres <= eps
+                break
+            shat = m.apply(s)
+            t = matvec(shat)
+            tt = float(t @ t)
+            if tt == 0.0 or not np.isfinite(tt):
+                break
+            omega = float(t @ s) / tt
+            x += alpha * phat + omega * shat
+            r = s - omega * t
+            it += 1
+            relres = float(np.linalg.norm(r)) / bnorm
+            history.append(relres)
+            if not np.isfinite(relres):
+                break
+            converged = relres <= eps
+            if omega == 0.0:
+                break
+
+    return CGResult(
+        x=x,
+        iterations=it,
+        converged=converged,
+        relative_residual=relres,
+        solve_seconds=timer.elapsed,
+        setup_seconds=m.setup_seconds,
+        history=np.asarray(history) if record_history else np.empty(0),
+    )

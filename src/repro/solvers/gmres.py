@@ -1,0 +1,125 @@
+"""Restarted GMRES(m) with right preconditioning.
+
+Companion nonsymmetric solver to :mod:`repro.solvers.bicgstab`; GMRES is
+the robust (if memory-hungrier) choice when frictional contact makes the
+matrix strongly nonsymmetric.  Right preconditioning keeps the monitored
+residual equal to the true residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import IdentityPreconditioner, Preconditioner
+from repro.solvers.cg import CGResult, _as_matvec
+from repro.utils.timing import Timer
+
+
+def gmres_solve(
+    a,
+    b: np.ndarray,
+    preconditioner: Preconditioner | None = None,
+    *,
+    eps: float = 1e-8,
+    restart: int = 30,
+    max_iter: int | None = None,
+    x0: np.ndarray | None = None,
+    record_history: bool = True,
+) -> CGResult:
+    """Solve ``A x = b`` by GMRES(restart), right-preconditioned.
+
+    ``iterations`` counts inner Arnoldi steps (matvecs).
+    """
+    if restart < 1:
+        raise ValueError(f"restart must be >= 1, got {restart}")
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    m = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    if max_iter is None:
+        max_iter = max(1000, 10 * n)
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(
+            x=np.zeros(n), iterations=0, converged=True,
+            relative_residual=0.0, solve_seconds=0.0,
+            setup_seconds=m.setup_seconds,
+        )
+
+    timer = Timer()
+    history = []
+    it = 0
+    converged = False
+    relres = np.inf
+    with timer:
+        while it < max_iter and not converged:
+            r = b - matvec(x)
+            beta = float(np.linalg.norm(r))
+            relres = beta / bnorm
+            if not history:
+                history.append(relres)
+            if relres <= eps:
+                converged = True
+                break
+            k_max = min(restart, max_iter - it)
+            v = np.zeros((k_max + 1, n))
+            v[0] = r / beta
+            h = np.zeros((k_max + 1, k_max))
+            g = np.zeros(k_max + 1)
+            g[0] = beta
+            cs = np.zeros(k_max)
+            sn = np.zeros(k_max)
+            zs = []  # preconditioned Krylov vectors for the update
+            k_used = 0
+            for k in range(k_max):
+                z = m.apply(v[k])
+                zs.append(z)
+                w = matvec(z)
+                # modified Gram-Schmidt
+                for i in range(k + 1):
+                    h[i, k] = float(v[i] @ w)
+                    w -= h[i, k] * v[i]
+                h[k + 1, k] = float(np.linalg.norm(w))
+                if h[k + 1, k] > 0:
+                    v[k + 1] = w / h[k + 1, k]
+                # apply accumulated Givens rotations to the new column
+                for i in range(k):
+                    tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                    h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                    h[i, k] = tmp
+                denom = np.hypot(h[k, k], h[k + 1, k])
+                if denom == 0.0:
+                    k_used = k + 1
+                    it += 1
+                    break
+                cs[k] = h[k, k] / denom
+                sn[k] = h[k + 1, k] / denom
+                h[k, k] = denom
+                h[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+                it += 1
+                k_used = k + 1
+                relres = abs(g[k + 1]) / bnorm
+                history.append(relres)
+                if relres <= eps or h[k + 1, k] == 0.0:
+                    break
+            # solve the small triangular system and update x
+            if k_used:
+                y = np.linalg.solve(h[:k_used, :k_used], g[:k_used])
+                for i in range(k_used):
+                    x += y[i] * zs[i]
+            relres = float(np.linalg.norm(b - matvec(x))) / bnorm
+            converged = relres <= eps
+
+    return CGResult(
+        x=x,
+        iterations=it,
+        converged=converged,
+        relative_residual=relres,
+        solve_seconds=timer.elapsed,
+        setup_seconds=m.setup_seconds,
+        history=np.asarray(history) if record_history else np.empty(0),
+    )

@@ -1,0 +1,67 @@
+"""Convergence-history analysis: the paper's "smooth convergence" claim.
+
+The abstract and conclusion state that selective blocking provides
+"robust and *smooth* convergence".  This module quantifies smoothness
+from a CG residual history:
+
+- ``oscillation_ratio`` — the share of iterations where the residual
+  *increased* (an SPD, well-preconditioned CG barely oscillates in the
+  preconditioned norm; a nearly singular preconditioned operator shows
+  plateaus and spikes in the 2-norm history the paper's figures plot);
+- ``plateau_length`` — the longest run of iterations with < 1% progress;
+- ``mean_reduction`` — geometric mean per-iteration residual reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ConvergenceProfile:
+    """Smoothness statistics of one residual history."""
+
+    iterations: int
+    oscillation_ratio: float
+    plateau_length: int
+    mean_reduction: float
+
+    @property
+    def is_smooth(self) -> bool:
+        """Heuristic: few upticks and no long plateaus."""
+        return self.oscillation_ratio < 0.15 and self.plateau_length <= max(
+            10, self.iterations // 4
+        )
+
+
+def analyze_history(history: np.ndarray) -> ConvergenceProfile:
+    """Smoothness profile of a relative-residual history.
+
+    ``history`` is the per-iteration relative residual (including the
+    initial value), as produced by the solvers' ``record_history``.
+    """
+    h = np.asarray(history, dtype=np.float64)
+    if h.ndim != 1 or h.size < 2:
+        raise ValueError("history must hold at least two residual values")
+    it = h.size - 1
+    ratios = h[1:] / np.maximum(h[:-1], 1e-300)
+    oscillation = float(np.count_nonzero(ratios > 1.0)) / it
+
+    # longest run with less than 1% reduction per step
+    slow = ratios > 0.99
+    longest = 0
+    run = 0
+    for s in slow:
+        run = run + 1 if s else 0
+        longest = max(longest, run)
+
+    total_red = max(h[-1] / max(h[0], 1e-300), 1e-300)
+    mean_red = float(total_red ** (1.0 / it))
+    return ConvergenceProfile(
+        iterations=it,
+        oscillation_ratio=oscillation,
+        plateau_length=int(longest),
+        mean_reduction=mean_red,
+    )

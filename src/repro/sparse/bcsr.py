@@ -1,0 +1,188 @@
+"""Uniform block compressed sparse row (BCSR) matrices with 3x3 blocks.
+
+GeoFEM assembles elastic stiffness matrices with one dense ``ndof x ndof``
+block per pair of connected finite-element nodes (``ndof`` = 3 in 3-D).
+This module provides that assembly-level container plus the conversions
+the rest of the stack needs: scipy BSR/CSR views for fast matvecs, block
+extraction for the preconditioners, and permutation by a node ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validate import check_index_array, check_permutation
+
+
+@dataclass
+class BCSRMatrix:
+    """Square sparse matrix of dense ``b x b`` blocks in CSR-of-blocks layout.
+
+    Attributes
+    ----------
+    n:
+        Number of block rows (= block columns = FEM nodes).
+    b:
+        Block edge length (3 for 3-D solid mechanics).
+    indptr, indices:
+        CSR structure over blocks; ``indices`` is column-sorted within
+        each row and includes the diagonal block of every row.
+    values:
+        ``(nnzb, b, b)`` dense block values.
+    """
+
+    n: int
+    b: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo_blocks(
+        cls,
+        n: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        blocks: np.ndarray,
+        b: int = 3,
+    ) -> "BCSRMatrix":
+        """Build from block triplets, summing duplicates.
+
+        Every diagonal block is materialized (with zeros if absent) so the
+        preconditioners can always address ``A[i, i]``.
+        """
+        rows = check_index_array(np.asarray(rows), n, "block rows")
+        cols = check_index_array(np.asarray(cols), n, "block cols")
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.shape != (rows.size, b, b):
+            raise ValueError(f"blocks must have shape ({rows.size}, {b}, {b}), got {blocks.shape}")
+
+        # Append explicit (possibly zero) diagonal blocks, then coalesce.
+        diag = np.arange(n, dtype=rows.dtype)
+        rows = np.concatenate([rows, diag])
+        cols = np.concatenate([cols, diag])
+        blocks = np.concatenate([blocks, np.zeros((n, b, b))])
+
+        key = rows.astype(np.int64) * n + cols
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        blocks = blocks[order]
+        uniq, start = np.unique(key, return_index=True)
+        summed = np.add.reduceat(blocks, start, axis=0)
+
+        urows = (uniq // n).astype(np.int64)
+        ucols = (uniq % n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, urows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n=n, b=b, indptr=indptr, indices=ucols, values=summed)
+
+    @classmethod
+    def from_scipy(cls, a: sp.spmatrix | sp.sparray, b: int = 3) -> "BCSRMatrix":
+        """Build from any scipy sparse matrix of shape ``(n*b, n*b)``."""
+        a = sp.csr_matrix(a)
+        if a.shape[0] != a.shape[1] or a.shape[0] % b:
+            raise ValueError(f"matrix shape {a.shape} is not square with block size {b}")
+        n = a.shape[0] // b
+        bsr = a.tobsr(blocksize=(b, b))
+        bsr.sort_indices()
+        return cls(
+            n=n,
+            b=b,
+            indptr=bsr.indptr.astype(np.int64),
+            indices=bsr.indices.astype(np.int64),
+            values=np.ascontiguousarray(bsr.data, dtype=np.float64),
+        )
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def nnzb(self) -> int:
+        """Number of stored blocks."""
+        return int(self.indices.size)
+
+    @property
+    def ndof(self) -> int:
+        """Scalar dimension ``n * b``."""
+        return self.n * self.b
+
+    def memory_bytes(self) -> int:
+        """Bytes of the value + index arrays (the Table 2/4 memory census)."""
+        return self.values.nbytes + self.indices.nbytes + self.indptr.nbytes
+
+    # -- conversions -----------------------------------------------------
+
+    def to_bsr(self) -> sp.bsr_matrix:
+        """Scipy BSR view sharing this matrix's arrays (fast matvec path)."""
+        return sp.bsr_matrix(
+            (self.values, self.indices, self.indptr),
+            shape=(self.ndof, self.ndof),
+        )
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Scalar CSR copy (sorted, duplicate-free)."""
+        csr = self.to_bsr().tocsr()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return csr
+
+    def toarray(self) -> np.ndarray:
+        return self.to_bsr().toarray()
+
+    # -- operations ------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Matrix-vector product on a flat DOF vector of length ``n * b``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ndof,):
+            raise ValueError(f"x must have shape ({self.ndof},), got {x.shape}")
+        return self.to_bsr() @ x
+
+    def diagonal_blocks(self) -> np.ndarray:
+        """``(n, b, b)`` array of diagonal blocks (copies)."""
+        out = np.zeros((self.n, self.b, self.b))
+        rows = self.block_rows()
+        on_diag = self.indices == rows
+        out[rows[on_diag]] = self.values[on_diag]
+        return out
+
+    def block_rows(self) -> np.ndarray:
+        """Expanded block-row index of every stored block, shape ``(nnzb,)``."""
+        return np.repeat(np.arange(self.n), np.diff(self.indptr))
+
+    def permuted(self, perm: np.ndarray) -> "BCSRMatrix":
+        """Return ``P A P^T`` for the node permutation ``perm``.
+
+        ``perm[k]`` is the *old* index of the node placed at new position
+        ``k`` (gather convention, as used by the reordering modules).
+        """
+        perm = check_permutation(np.asarray(perm), self.n)
+        iperm = np.empty(self.n, dtype=np.int64)
+        iperm[perm] = np.arange(self.n)
+        rows = iperm[self.block_rows()]
+        cols = iperm[self.indices]
+        return BCSRMatrix.from_coo_blocks(self.n, rows, cols, self.values, b=self.b)
+
+    def is_symmetric(self, tol: float = 1e-10) -> bool:
+        csr = self.to_csr()
+        d = csr - csr.T
+        scale = max(abs(csr.data).max() if csr.nnz else 0.0, 1.0)
+        return not d.nnz or abs(d.data).max() <= tol * scale
+
+    def node_adjacency(self) -> sp.csr_matrix:
+        """Boolean node connectivity graph (no self loops), as CSR."""
+        data = np.ones(self.nnzb, dtype=np.int8)
+        # copied index arrays: setdiag/eliminate_zeros mutate in place
+        g = sp.csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()), shape=(self.n, self.n)
+        )
+        g.setdiag(0)
+        g.eliminate_zeros()
+        g = (g + g.T).astype(bool).astype(np.int8)
+        g.sort_indices()
+        return g

@@ -1,0 +1,17 @@
+"""Small shared utilities: timers, validation, deterministic RNG."""
+
+from repro.utils.timing import Timer
+from repro.utils.validate import (
+    check_index_array,
+    check_permutation,
+    check_square_csr,
+    check_symmetric,
+)
+
+__all__ = [
+    "Timer",
+    "check_index_array",
+    "check_permutation",
+    "check_square_csr",
+    "check_symmetric",
+]

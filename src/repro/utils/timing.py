@@ -1,0 +1,38 @@
+"""Wall-clock timing helpers used by solvers and benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            do_work()
+        print(t.elapsed)
+
+    Re-entering accumulates, so one timer can measure a phase that is
+    spread over several code regions (e.g. "preconditioner set-up" split
+    between symbolic and numeric factorization).
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None, "Timer exited without being entered"
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None

@@ -1,0 +1,54 @@
+"""Validation helpers shared by the sparse / reordering / FEM modules.
+
+These raise ``ValueError`` with a description of what is wrong rather than
+letting malformed index arrays propagate into vectorized kernels where the
+failure mode would be a silent wrong answer or an opaque numpy error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def check_index_array(a: np.ndarray, n: int, name: str = "index array") -> np.ndarray:
+    """Validate that *a* is a 1-D integer array with entries in [0, n)."""
+    a = np.asarray(a)
+    if a.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {a.shape}")
+    if not np.issubdtype(a.dtype, np.integer):
+        raise ValueError(f"{name} must be integer, got dtype {a.dtype}")
+    if a.size and (a.min() < 0 or a.max() >= n):
+        raise ValueError(f"{name} has entries outside [0, {n})")
+    return a
+
+
+def check_permutation(perm: np.ndarray, n: int) -> np.ndarray:
+    """Validate that *perm* is a permutation of 0..n-1."""
+    perm = check_index_array(perm, n, "permutation")
+    if perm.size != n:
+        raise ValueError(f"permutation has length {perm.size}, expected {n}")
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    if not seen.all():
+        raise ValueError("permutation is not a bijection on 0..n-1")
+    return perm
+
+
+def check_square_csr(a: sp.spmatrix | sp.sparray, name: str = "matrix") -> sp.csr_matrix:
+    """Coerce *a* to square CSR with sorted indices and no duplicates."""
+    a = sp.csr_matrix(a)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {a.shape}")
+    a.sum_duplicates()
+    a.sort_indices()
+    return a
+
+
+def check_symmetric(a: sp.spmatrix | sp.sparray, tol: float = 1e-10, name: str = "matrix") -> None:
+    """Raise if *a* is not numerically symmetric to relative tolerance *tol*."""
+    a = sp.csr_matrix(a)
+    d = a - a.T
+    scale = max(abs(a.data).max() if a.nnz else 0.0, 1.0)
+    if d.nnz and abs(d.data).max() > tol * scale:
+        raise ValueError(f"{name} is not symmetric (max asymmetry {abs(d.data).max():.3e})")

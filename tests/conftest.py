@@ -1,0 +1,59 @@
+"""Shared fixtures: small meshes, assembled problems, reference solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.fem.generators import box_mesh, simple_block_model, southwest_japan_model
+from repro.fem.model import build_contact_problem
+
+
+@pytest.fixture(scope="session")
+def box3():
+    return box_mesh(3, 3, 3)
+
+
+@pytest.fixture(scope="session")
+def block_mesh_small():
+    return simple_block_model(3, 3, 2, 3, 3)
+
+
+@pytest.fixture(scope="session")
+def swj_mesh_small():
+    return southwest_japan_model(6, 4, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def block_problem_small(block_mesh_small):
+    return build_contact_problem(block_mesh_small, penalty=1e4)
+
+
+@pytest.fixture(scope="session")
+def block_problem_stiff(block_mesh_small):
+    return build_contact_problem(block_mesh_small, penalty=1e8)
+
+
+@pytest.fixture(scope="session")
+def swj_problem_small(swj_mesh_small):
+    return build_contact_problem(
+        swj_mesh_small, penalty=1e4, load="body", symmetry=False
+    )
+
+
+@pytest.fixture(scope="session")
+def block_reference(block_problem_small):
+    return spla.spsolve(block_problem_small.a.tocsc(), block_problem_small.b)
+
+
+def random_spd_csr(n: int, density: float, rng: np.random.Generator) -> sp.csr_matrix:
+    """Random sparse SPD matrix (diagonally dominant) for property tests."""
+    m = sp.random(n, n, density=density, random_state=np.random.RandomState(rng.integers(2**31)))
+    a = (m + m.T).tocsr()
+    row_sums = np.asarray(abs(a).sum(axis=1)).reshape(-1)
+    a.setdiag(row_sums + 1.0)
+    a.sum_duplicates()
+    a.sort_indices()
+    return a

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.assembly import assemble_stiffness, element_volumes
+from repro.fem.bc import (
+    all_dofs,
+    apply_dirichlet,
+    body_force,
+    boundary_faces,
+    component_dofs,
+    surface_load,
+)
+from repro.fem.generators import box_mesh
+from repro.fem.material import IsotropicElastic
+
+
+class TestAssembly:
+    def test_symmetric(self, box3):
+        k = assemble_stiffness(box3)
+        assert k.is_symmetric()
+
+    def test_positive_semidefinite(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        vals = np.linalg.eigvalsh(k.toarray())
+        assert vals.min() > -1e-9
+
+    def test_rigid_modes_in_kernel(self, box3):
+        k = assemble_stiffness(box3)
+        for comp in range(3):
+            u = np.zeros(box3.ndof)
+            u[comp::3] = 1.0
+            assert np.allclose(k.matvec(u), 0.0, atol=1e-10)
+
+    def test_material_dict(self, block_mesh_small):
+        mats = {i: IsotropicElastic(float(i + 1), 0.3) for i in range(3)}
+        k = assemble_stiffness(block_mesh_small, mats)
+        assert k.is_symmetric()
+
+    def test_missing_material_rejected(self, block_mesh_small):
+        with pytest.raises(ValueError, match="missing"):
+            assemble_stiffness(block_mesh_small, {0: IsotropicElastic()})
+
+    def test_stiffness_scales_with_modulus(self, box3):
+        k1 = assemble_stiffness(box3, IsotropicElastic(1.0, 0.3)).to_csr()
+        k2 = assemble_stiffness(box3, IsotropicElastic(2.0, 0.3)).to_csr()
+        assert np.allclose((k2 - 2 * k1).toarray(), 0.0, atol=1e-12)
+
+    def test_element_volumes(self, box3):
+        assert np.allclose(element_volumes(box3), 1.0)
+
+
+class TestDirichlet:
+    def test_rows_cols_cleared(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        fixed = all_dofs(box3.node_sets["zmin"])
+        a, b = apply_dirichlet(k, np.ones(box3.ndof), fixed)
+        dense = a.toarray()
+        free = np.setdiff1d(np.arange(box3.ndof), fixed)
+        assert np.allclose(dense[np.ix_(fixed, free)], 0.0)
+        assert np.allclose(dense[np.ix_(free, fixed)], 0.0)
+
+    def test_diag_preserved(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        fixed = all_dofs(box3.node_sets["zmin"])
+        a, _ = apply_dirichlet(k, np.zeros(box3.ndof), fixed)
+        assert np.allclose(a.diagonal()[fixed], k.diagonal()[fixed])
+
+    def test_nonzero_values_move_to_rhs(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        fixed = all_dofs(box3.node_sets["zmin"])
+        vals = 0.1
+        a, b = apply_dirichlet(k, np.zeros(box3.ndof), fixed, values=vals)
+        x = sp.linalg.spsolve(a.tocsc(), b)
+        assert np.allclose(x[fixed], vals)
+
+    def test_makes_system_spd(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        fixed = np.concatenate(
+            [
+                all_dofs(box3.node_sets["zmin"]),
+                component_dofs(box3.node_sets["xmin"], 0),
+                component_dofs(box3.node_sets["ymin"], 1),
+            ]
+        )
+        a, _ = apply_dirichlet(k, np.zeros(box3.ndof), fixed)
+        vals = np.linalg.eigvalsh(a.toarray())
+        assert vals.min() > 1e-10
+
+    def test_out_of_range_rejected(self, box3):
+        k = assemble_stiffness(box3).to_csr()
+        with pytest.raises(ValueError, match="range"):
+            apply_dirichlet(k, np.zeros(box3.ndof), np.array([box3.ndof]))
+
+    def test_component_dofs_validation(self):
+        with pytest.raises(ValueError):
+            component_dofs(np.array([0]), 3)
+
+
+class TestLoads:
+    def test_surface_load_total_force(self):
+        m = box_mesh(3, 4, 2)
+        f = surface_load(m, m.node_sets["zmax"], np.array([0.0, 0.0, -2.0]))
+        # total z-force = traction * area (3x4 surface)
+        assert np.isclose(f[2::3].sum(), -2.0 * 12.0)
+        assert np.allclose(f[0::3], 0.0) and np.allclose(f[1::3], 0.0)
+
+    def test_surface_load_corner_weighting(self):
+        """Corner nodes carry 1/4 of a single face, interior 4 faces."""
+        m = box_mesh(2, 2, 1)
+        f = surface_load(m, m.node_sets["zmax"], np.array([0.0, 0.0, 1.0]))
+        fz = f[2::3]
+        top = m.node_sets["zmax"]
+        center = [n for n in top if np.allclose(m.coords[n, :2], [1.0, 1.0])][0]
+        corner = [n for n in top if np.allclose(m.coords[n, :2], [0.0, 0.0])][0]
+        assert np.isclose(fz[center], 1.0)
+        assert np.isclose(fz[corner], 0.25)
+
+    def test_surface_load_requires_faces(self, box3):
+        with pytest.raises(ValueError, match="face"):
+            surface_load(box3, np.array([0]), np.array([0.0, 0.0, 1.0]))
+
+    def test_body_force_total(self):
+        m = box_mesh(2, 3, 4)
+        f = body_force(m, np.array([0.0, 0.0, -1.0]))
+        assert np.isclose(f[2::3].sum(), -24.0)  # volume = 2*3*4
+
+    def test_bad_traction_shape(self, box3):
+        with pytest.raises(ValueError):
+            surface_load(box3, box3.node_sets["zmax"], np.zeros(2))
+
+    def test_boundary_faces_counts(self):
+        m = box_mesh(3, 4, 2)
+        faces = boundary_faces(m, m.node_sets["zmax"])
+        assert faces.shape == (12, 4)

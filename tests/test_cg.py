@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precond import DiagonalScaling
+from repro.solvers.cg import cg_solve
+from repro.sparse.bcsr import BCSRMatrix
+
+
+def spd(n, seed, density=0.3):
+    m = sp.random(n, n, density=density, random_state=np.random.RandomState(seed))
+    a = (m + m.T).tocsr()
+    a.setdiag(np.asarray(abs(a).sum(axis=1)).reshape(-1) + 1.0)
+    return sp.csr_matrix(a)
+
+
+class TestBasics:
+    def test_identity_converges_immediately(self):
+        a = sp.eye(5).tocsr()
+        b = np.arange(1.0, 6.0)
+        res = cg_solve(a, b)
+        assert res.converged and res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_zero_rhs(self):
+        a = spd(6, 0)
+        res = cg_solve(a, np.zeros(6))
+        assert res.converged and res.iterations == 0
+        assert np.allclose(res.x, 0)
+
+    def test_solves_random_spd(self):
+        a = spd(30, 1)
+        x = np.random.default_rng(2).normal(size=30)
+        res = cg_solve(a, a @ x, eps=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_x0_warm_start(self):
+        a = spd(20, 3)
+        x = np.random.default_rng(4).normal(size=20)
+        b = a @ x
+        cold = cg_solve(a, b)
+        warm = cg_solve(a, b, x0=x + 1e-10)
+        assert warm.iterations <= cold.iterations
+
+    def test_max_iter_flags_nonconvergence(self):
+        a = spd(50, 5, density=0.2)
+        res = cg_solve(a, np.ones(50), max_iter=1, eps=1e-16)
+        assert not res.converged
+        assert res.iterations == 1
+
+    def test_history_recorded_and_final_below_eps(self):
+        a = spd(25, 6)
+        res = cg_solve(a, np.ones(25), eps=1e-8)
+        assert res.history.size == res.iterations + 1
+        assert res.history[-1] <= 1e-8
+
+    def test_history_disabled(self):
+        a = spd(10, 7)
+        res = cg_solve(a, np.ones(10), record_history=False)
+        assert res.history.size == 0
+
+    def test_repr_mentions_status(self):
+        a = spd(8, 8)
+        res = cg_solve(a, np.ones(8))
+        assert "converged" in repr(res)
+
+    def test_total_seconds(self):
+        a = spd(8, 9)
+        res = cg_solve(a, np.ones(8))
+        assert res.total_seconds >= res.solve_seconds
+
+
+class TestOperatorAdapters:
+    def test_bcsr_matrix_accepted(self):
+        rng = np.random.default_rng(10)
+        dense = rng.normal(size=(9, 9))
+        spd_dense = dense @ dense.T + 9 * np.eye(9)
+        m = BCSRMatrix.from_scipy(sp.csr_matrix(spd_dense))
+        x = rng.normal(size=9)
+        res = cg_solve(m, spd_dense @ x, eps=1e-12)
+        assert res.converged and np.allclose(res.x, x, atol=1e-6)
+
+    def test_dense_array_accepted(self):
+        rng = np.random.default_rng(11)
+        dense = rng.normal(size=(6, 6))
+        a = dense @ dense.T + 6 * np.eye(6)
+        res = cg_solve(a, np.ones(6), eps=1e-12)
+        assert res.converged
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            cg_solve("not a matrix", np.ones(3))
+
+    def test_preconditioner_accelerates_illconditioned(self):
+        d = np.logspace(0, 6, 40)
+        a = sp.diags(d).tocsr()
+        b = np.ones(40)
+        plain = cg_solve(a, b, eps=1e-10, max_iter=2000)
+        pre = cg_solve(a, b, DiagonalScaling(a), eps=1e-10)
+        assert pre.iterations < plain.iterations
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 40), seed=st.integers(0, 10_000))
+def test_property_cg_solves_spd(n, seed):
+    a = spd(n, seed)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    res = cg_solve(a, a @ x, eps=1e-11)
+    assert res.converged
+    assert np.linalg.norm(res.x - x) <= 1e-5 * max(np.linalg.norm(x), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 30), seed=st.integers(0, 10_000))
+def test_property_residual_matches_reported(n, seed):
+    a = spd(n, seed)
+    b = np.random.default_rng(seed).normal(size=n)
+    res = cg_solve(a, b, eps=1e-9)
+    true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+    assert np.isclose(true_rel, res.relative_residual, rtol=1e-6, atol=1e-12)

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table02" in out and "fig26" in out
+
+    def test_run_experiment(self, capsys):
+        code = main(["run", "fig05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Work ratio" in out
+        assert "PASS" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_solve_block(self, capsys):
+        code = main(["solve", "--model", "block", "--scale", "0.4", "--precond", "sbbic0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out and "SB-BIC(0)" in out
+
+    def test_solve_diag(self, capsys):
+        code = main(["solve", "--model", "block", "--scale", "0.4", "--precond", "diag", "--penalty", "1e2"])
+        assert code == 0
+
+    def test_solve_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--model", "venus"])
+
+    def test_every_experiment_registered_is_callable(self):
+        for key, (desc, fn) in EXPERIMENTS.items():
+            assert callable(fn) and desc
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

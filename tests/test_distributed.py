@@ -1,0 +1,154 @@
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    DistributedSystem,
+    LockstepComm,
+    contact_aware_partition,
+    parallel_cg,
+    partition_nodes_rcb,
+)
+from repro.parallel.contact_partition import partition_quality
+from repro.parallel.partition import build_domains
+from repro.precond import LocalizedPreconditioner, bic, sb_bic0
+from repro.precond.localized import restrict_groups
+from repro.solvers.cg import cg_solve
+
+
+class TestContactAwarePartition:
+    def test_groups_never_cut(self, block_mesh_small):
+        part = contact_aware_partition(
+            block_mesh_small.coords, block_mesh_small.contact_groups, 4
+        )
+        q = partition_quality(part, block_mesh_small.contact_groups)
+        assert q["cut_groups"] == 0
+
+    def test_load_balanced(self, block_mesh_small):
+        part = contact_aware_partition(
+            block_mesh_small.coords, block_mesh_small.contact_groups, 4
+        )
+        q = partition_quality(part, block_mesh_small.contact_groups)
+        assert q["imbalance_percent"] < 10.0
+
+    def test_rcb_cuts_groups(self, block_mesh_small):
+        """The naive partitioner must cut groups (that's Table 3's point)."""
+        part = partition_nodes_rcb(block_mesh_small.coords, 4)
+        q = partition_quality(part, block_mesh_small.contact_groups)
+        assert q["cut_groups"] > 0
+
+    def test_all_domains_populated(self, swj_mesh_small):
+        part = contact_aware_partition(
+            swj_mesh_small.coords, swj_mesh_small.contact_groups, 6
+        )
+        assert np.bincount(part).min() > 0
+
+
+class TestLockstepComm:
+    def test_exchange_moves_boundary_values(self, block_problem_small):
+        mesh = block_problem_small.mesh
+        part = partition_nodes_rcb(mesh.coords, 3)
+        domains = build_domains(block_problem_small.a, part)
+        comm = LockstepComm(domains)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=block_problem_small.ndof)
+        vectors = []
+        for dom in domains:
+            v = np.zeros(dom.n_local * 3)
+            rows = (dom.internal_nodes[:, None] * 3 + np.arange(3)).reshape(-1)
+            v[: dom.n_internal * 3] = x[rows]
+            vectors.append(v)
+        comm.exchange_external(vectors)
+        for dom, v in zip(domains, vectors):
+            ext_rows = (dom.external_nodes[:, None] * 3 + np.arange(3)).reshape(-1)
+            assert np.allclose(v[dom.n_internal * 3 :], x[ext_rows])
+
+    def test_comm_log_counts(self, block_problem_small):
+        part = partition_nodes_rcb(block_problem_small.mesh.coords, 2)
+        domains = build_domains(block_problem_small.a, part)
+        comm = LockstepComm(domains)
+        vectors = [np.zeros(d.n_local * 3) for d in domains]
+        comm.exchange_external(vectors)
+        assert comm.log.n_messages == 2  # one each way
+        assert comm.log.bytes_sent > 0
+        comm.allreduce_sum([1.0, 2.0])
+        assert comm.log.n_allreduce == 1
+
+    def test_allreduce_sum(self, block_problem_small):
+        part = partition_nodes_rcb(block_problem_small.mesh.coords, 2)
+        comm = LockstepComm(build_domains(block_problem_small.a, part))
+        assert comm.allreduce_sum([1.5, 2.5]) == 4.0
+
+    def test_wrong_vector_count_rejected(self, block_problem_small):
+        part = partition_nodes_rcb(block_problem_small.mesh.coords, 2)
+        comm = LockstepComm(build_domains(block_problem_small.a, part))
+        with pytest.raises(ValueError):
+            comm.exchange_external([np.zeros(3)])
+
+
+class TestParallelCG:
+    def test_matches_sequential_localized(self, block_problem_small):
+        """The lockstep distributed CG must agree with the sequential CG
+        preconditioned by the equivalent LocalizedPreconditioner."""
+        p = block_problem_small
+        part = contact_aware_partition(p.mesh.coords, p.groups, 4)
+
+        def factory(sub, nodes):
+            return sb_bic0(sub, restrict_groups(p.groups, nodes, p.mesh.n_nodes))
+
+        system = DistributedSystem.from_global(p.a, p.b, part, factory)
+        res_par = parallel_cg(system)
+
+        lp = LocalizedPreconditioner(p.a, part, factory)
+        res_seq = cg_solve(p.a, p.b, lp)
+
+        assert res_par.converged and res_seq.converged
+        assert abs(res_par.iterations - res_seq.iterations) <= 1
+        assert np.allclose(res_par.x, res_seq.x, atol=1e-6)
+
+    def test_solution_correct(self, block_problem_small, block_reference):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 3)
+        system = DistributedSystem.from_global(
+            p.a, p.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+        )
+        res = parallel_cg(system)
+        assert res.converged
+        err = np.linalg.norm(res.x - block_reference) / np.linalg.norm(block_reference)
+        assert err < 1e-6
+
+    def test_comm_volume_recorded(self, block_problem_small):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 4)
+        system = DistributedSystem.from_global(
+            p.a, p.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+        )
+        res = parallel_cg(system)
+        log = system.comm_log
+        # one exchange per matvec (= iterations), >= 3 allreduce per iter
+        assert log.per_exchange_bytes and len(log.per_exchange_bytes) >= res.iterations
+        assert log.n_allreduce >= 3 * res.iterations
+
+    def test_iterations_grow_with_domains(self, block_problem_stiff):
+        """Localization weakens the preconditioner (Table 1 behaviour)."""
+        p = block_problem_stiff
+        iters = []
+        for nd in (1, 8):
+            if nd == 1:
+                m = bic(p.a, fill_level=0)
+                iters.append(cg_solve(p.a, p.b, m, max_iter=20000).iterations)
+            else:
+                part = partition_nodes_rcb(p.mesh.coords, nd)
+                system = DistributedSystem.from_global(
+                    p.a, p.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+                )
+                iters.append(parallel_cg(system, max_iter=20000).iterations)
+        assert iters[1] >= iters[0]
+
+    def test_zero_rhs(self, block_problem_small):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 2)
+        system = DistributedSystem.from_global(
+            p.a, np.zeros_like(p.b), part, lambda sub, nodes: bic(sub, fill_level=0)
+        )
+        res = parallel_cg(system)
+        assert res.converged and res.iterations == 0

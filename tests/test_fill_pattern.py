@@ -1,0 +1,125 @@
+"""lower_fill_pattern vs a brute-force fill-path reference."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precond.icfact import lower_fill_pattern
+from repro.reorder import adjacency_from_pattern
+
+
+def brute_force_fill(adj: sp.csr_matrix, level: int) -> set[tuple[int, int]]:
+    """Fill-path theorem by explicit path enumeration (lengths <= level+1)."""
+    n = adj.shape[0]
+    dense = adj.toarray().astype(bool)
+    out = set()
+    for i in range(n):
+        for j in range(i):
+            # BFS over paths i -> j with interior < j, length <= level+1
+            if dense[i, j]:
+                out.add((i, j))
+                continue
+            # paths of length 2
+            if level >= 1:
+                for k in range(j):
+                    if dense[i, k] and dense[k, j]:
+                        out.add((i, j))
+                        break
+            if (i, j) in out:
+                continue
+            if level >= 2:
+                found = False
+                for k1 in range(j):
+                    if not dense[i, k1]:
+                        continue
+                    for k2 in range(j):
+                        if k2 != k1 and dense[k1, k2] and dense[k2, j]:
+                            out.add((i, j))
+                            found = True
+                            break
+                    if found:
+                        break
+    return out
+
+
+def pattern_to_set(indptr, indices):
+    n = indptr.size - 1
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+    return {(int(r), int(c)) for r, c in zip(rows, indices) if r != c}
+
+
+def random_adj(n, p, seed):
+    rng = np.random.default_rng(seed)
+    m = np.triu(rng.random((n, n)) < p, 1)
+    return adjacency_from_pattern(sp.csr_matrix((m | m.T).astype(float)))
+
+
+class TestFillLevels:
+    def test_level0_equals_lower_adjacency(self):
+        adj = random_adj(12, 0.3, 0)
+        indptr, indices = lower_fill_pattern(adj, 0)
+        got = pattern_to_set(indptr, indices)
+        assert got == brute_force_fill(adj, 0)
+
+    def test_level1_reference(self):
+        adj = random_adj(12, 0.3, 1)
+        indptr, indices = lower_fill_pattern(adj, 1)
+        assert pattern_to_set(indptr, indices) == brute_force_fill(adj, 1)
+
+    def test_level2_reference(self):
+        adj = random_adj(10, 0.3, 2)
+        indptr, indices = lower_fill_pattern(adj, 2)
+        assert pattern_to_set(indptr, indices) == brute_force_fill(adj, 2)
+
+    def test_levels_nested(self):
+        adj = random_adj(15, 0.25, 3)
+        sets = []
+        for lvl in (0, 1, 2):
+            indptr, indices = lower_fill_pattern(adj, lvl)
+            sets.append(pattern_to_set(indptr, indices))
+        assert sets[0] <= sets[1] <= sets[2]
+
+    def test_diagonal_last_in_row(self):
+        adj = random_adj(10, 0.4, 4)
+        indptr, indices = lower_fill_pattern(adj, 1)
+        for i in range(10):
+            row = indices[indptr[i] : indptr[i + 1]]
+            assert row[-1] == i
+            assert np.all(np.diff(row) > 0)
+
+    def test_level3_not_implemented(self):
+        adj = random_adj(5, 0.5, 5)
+        with pytest.raises(NotImplementedError):
+            lower_fill_pattern(adj, 3)
+
+    def test_tridiagonal_no_fill(self):
+        """A tridiagonal matrix factors with zero fill at any level."""
+        n = 10
+        adj = adjacency_from_pattern(sp.diags([np.ones(n - 1)], [1], shape=(n, n)).tocsr())
+        for lvl in (0, 1, 2):
+            indptr, indices = lower_fill_pattern(adj, lvl)
+            assert pattern_to_set(indptr, indices) == {(i, i - 1) for i in range(1, n)}
+
+    def test_arrow_matrix_fill(self):
+        """Arrow pointing the wrong way: dense first row/col causes full
+        level-1 fill among all later vertices."""
+        n = 6
+        m = np.zeros((n, n))
+        m[0, 1:] = 1
+        adj = adjacency_from_pattern(sp.csr_matrix(m + m.T))
+        indptr, indices = lower_fill_pattern(adj, 1)
+        got = pattern_to_set(indptr, indices)
+        expected = {(i, 0) for i in range(1, n)} | {
+            (i, j) for i in range(2, n) for j in range(1, i)
+        }
+        assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 14), p=st.floats(0.1, 0.6), seed=st.integers(0, 10_000), lvl=st.integers(0, 2))
+def test_property_fill_matches_reference(n, p, seed, lvl):
+    adj = random_adj(n, p, seed)
+    indptr, indices = lower_fill_pattern(adj, lvl)
+    assert pattern_to_set(indptr, indices) == brute_force_fill(adj, lvl)

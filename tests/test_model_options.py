@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+
+
+class TestBuildOptions:
+    def test_body_load(self, block_mesh_small):
+        prob = build_contact_problem(block_mesh_small, penalty=1e4, load="body")
+        assert np.linalg.norm(prob.b) > 0
+
+    def test_unknown_load_rejected(self, block_mesh_small):
+        with pytest.raises(ValueError, match="load"):
+            build_contact_problem(block_mesh_small, load="wind")
+
+    def test_symmetry_off_fixes_fewer_dofs(self, block_mesh_small):
+        with_sym = build_contact_problem(block_mesh_small, symmetry=True)
+        without = build_contact_problem(block_mesh_small, symmetry=False)
+        assert without.fixed_dofs.size < with_sym.fixed_dofs.size
+
+    def test_penalty_zero_allowed(self, block_mesh_small):
+        prob = build_contact_problem(block_mesh_small, penalty=0.0)
+        assert prob.penalty == 0.0
+
+    def test_load_magnitude_scales_rhs(self, block_mesh_small):
+        p1 = build_contact_problem(block_mesh_small, load_magnitude=1.0)
+        p2 = build_contact_problem(block_mesh_small, load_magnitude=2.0)
+        free = np.setdiff1d(np.arange(p1.ndof), p1.fixed_dofs)
+        assert np.allclose(p2.b[free], 2.0 * p1.b[free])
+
+    def test_bcsr_view_matches_csr(self, block_problem_small):
+        p = block_problem_small
+        x = np.random.default_rng(0).normal(size=p.ndof)
+        assert np.allclose(p.a_bcsr.matvec(x), p.a @ x)
+
+    def test_problem_is_spd(self, block_problem_small):
+        """CG solvability in practice: a few random Rayleigh quotients."""
+        p = block_problem_small
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            v = rng.normal(size=p.ndof)
+            assert v @ (p.a @ v) > 0
+
+
+class TestPermutationInvariance:
+    def test_sbbic_result_independent_of_group_order(self):
+        """Shuffling the contact-group list must not change the answer."""
+        from repro.precond import sb_bic0
+        from repro.solvers.cg import cg_solve
+
+        mesh = simple_block_model(3, 3, 2, 3, 3)
+        prob = build_contact_problem(mesh, penalty=1e6)
+        g1 = prob.groups
+        g2 = list(reversed(prob.groups))
+        r1 = cg_solve(prob.a, prob.b, sb_bic0(prob.a, g1))
+        r2 = cg_solve(prob.a, prob.b, sb_bic0(prob.a, g2))
+        assert r1.converged and r2.converged
+        assert np.allclose(r1.x, r2.x, atol=1e-6 * np.abs(r1.x).max())
+
+    def test_precond_linear(self, block_problem_small):
+        """M^{-1} is a linear operator: M^{-1}(a r + s) = a M^{-1}r + M^{-1}s."""
+        from repro.precond import sb_bic0
+
+        p = block_problem_small
+        m = sb_bic0(p.a, p.groups)
+        rng = np.random.default_rng(2)
+        r, s = rng.normal(size=p.ndof), rng.normal(size=p.ndof)
+        lhs = m.apply(2.5 * r + s)
+        rhs = 2.5 * m.apply(r) + m.apply(s)
+        assert np.allclose(lhs, rhs, atol=1e-10 * np.abs(lhs).max())

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import all_dofs, apply_dirichlet, component_dofs, surface_load
+from repro.fem.generators import simple_block_model
+from repro.fem.nonlinear import solve_nonlinear_contact
+from repro.precond import bic
+
+
+@pytest.fixture(scope="module")
+def alm_system():
+    mesh = simple_block_model(2, 2, 2, 2, 2)
+    k = assemble_stiffness(mesh)
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.0, 0.0, -1.0]))
+    fixed = np.unique(
+        np.concatenate(
+            [
+                all_dofs(mesh.node_sets["zmin"]),
+                component_dofs(mesh.node_sets["xmin"], 0),
+                component_dofs(mesh.node_sets["ymin"], 1),
+            ]
+        )
+    )
+    a_free, b = apply_dirichlet(k.to_csr(), f, fixed)
+    return mesh, a_free, b
+
+
+class TestALM:
+    def test_converges_and_satisfies_constraints(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4, precond_factory=lambda a: bic(a, fill_level=0),
+        )
+        assert res.converged
+        assert res.constraint_norm <= 1e-8
+        # coincident nodes end with (essentially) equal displacements
+        u = res.u.reshape(-1, 3)
+        for g in mesh.contact_groups:
+            assert np.allclose(u[g], u[g[0]], atol=1e-6)
+
+    def test_larger_penalty_fewer_cycles(self, alm_system):
+        mesh, a_free, b = alm_system
+        cycles = []
+        for lam in (1e2, 1e6):
+            res = solve_nonlinear_contact(
+                a_free, b, mesh.contact_groups, mesh.n_nodes,
+                penalty=lam, precond_factory=lambda a: bic(a, fill_level=0),
+                constraint_tol=1e-6,
+            )
+            cycles.append(res.cycles)
+        assert cycles[1] <= cycles[0]
+
+    def test_total_cg_iterations_recorded(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e3, precond_factory=lambda a: bic(a, fill_level=0),
+        )
+        assert len(res.cg_iterations) == res.cycles
+        assert res.total_cg_iterations == sum(res.cg_iterations)
+
+    def test_max_cycles_flags_nonconvergence(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e1, precond_factory=lambda a: bic(a, fill_level=0),
+            constraint_tol=1e-14, max_cycles=1,
+        )
+        assert not res.converged
+        assert res.cycles == 1
+
+    def test_solution_matches_exact_tied_reference(self, alm_system):
+        """ALM's converged solution equals the exact master-slave
+        elimination of the tied constraints (no penalty involved)."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e5, precond_factory=lambda a: bic(a, fill_level=0),
+            constraint_tol=1e-10,
+        )
+        # reduction T: every group member's DOFs map to the master's
+        ndof = a_free.shape[0]
+        master_of = np.arange(mesh.n_nodes)
+        for g in mesh.contact_groups:
+            master_of[g] = g[0]
+        masters = np.unique(master_of)
+        col_of = {int(n): i for i, n in enumerate(masters)}
+        rows, cols = [], []
+        for node in range(mesh.n_nodes):
+            for comp in range(3):
+                rows.append(3 * node + comp)
+                cols.append(3 * col_of[int(master_of[node])] + comp)
+        t = sp.csr_matrix((np.ones(ndof), (rows, cols)), shape=(ndof, 3 * masters.size))
+        a_red = (t.T @ a_free @ t).tocsc()
+        u_red = spla.spsolve(a_red, t.T @ b)
+        ref = t @ u_red
+        assert np.allclose(res.u, ref, atol=1e-6 * max(np.abs(ref).max(), 1.0))

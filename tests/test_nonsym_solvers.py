@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precond import DiagonalScaling, bic
+from repro.solvers import bicgstab_solve, cg_solve, gmres_solve
+
+
+def nonsym(n, seed, shift=0.3):
+    rng = np.random.RandomState(seed)
+    m = sp.random(n, n, density=0.25, random_state=rng)
+    a = (m + m.T).tocsr()
+    a.setdiag(np.asarray(abs(a).sum(axis=1)).reshape(-1) + 1.0)
+    pert = sp.random(n, n, density=0.08, random_state=rng) * shift
+    out = sp.csr_matrix(a + pert)
+    out.sort_indices()
+    return out
+
+
+@pytest.mark.parametrize("solver", [bicgstab_solve, gmres_solve], ids=["bicgstab", "gmres"])
+class TestNonsymSolvers:
+    def test_solves_nonsymmetric(self, solver):
+        a = nonsym(40, 0)
+        x = np.random.default_rng(1).normal(size=40)
+        res = solver(a, a @ x, eps=1e-11)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_zero_rhs(self, solver):
+        a = nonsym(10, 2)
+        res = solver(a, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_preconditioner_helps(self, solver):
+        d = np.logspace(0, 5, 50)
+        a = sp.diags(d).tocsr() + sp.diags([np.full(49, 0.1)], [1]).tocsr()
+        a = sp.csr_matrix(a)
+        b = np.ones(50)
+        plain = solver(a, b, eps=1e-10, max_iter=5000)
+        pre = solver(a, b, DiagonalScaling(a), eps=1e-10, max_iter=5000)
+        assert pre.iterations < plain.iterations
+
+    def test_residual_reported_correctly(self, solver):
+        a = nonsym(25, 3)
+        b = np.random.default_rng(4).normal(size=25)
+        res = solver(a, b, eps=1e-9)
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        assert true_rel <= 5e-9
+
+    def test_max_iter_flags(self, solver):
+        a = nonsym(60, 5)
+        res = solver(a, np.ones(60), max_iter=1, eps=1e-16)
+        assert not res.converged
+
+    def test_warm_start(self, solver):
+        a = nonsym(20, 6)
+        x = np.random.default_rng(7).normal(size=20)
+        res = solver(a, a @ x, x0=x + 1e-12, eps=1e-10)
+        assert res.iterations <= 2
+
+    def test_matches_cg_on_spd(self, solver):
+        """On an SPD system all three must find the same solution."""
+        rng = np.random.RandomState(8)
+        m = sp.random(30, 30, density=0.3, random_state=rng)
+        a = (m + m.T).tocsr()
+        a.setdiag(np.asarray(abs(a).sum(axis=1)).reshape(-1) + 1.0)
+        a = sp.csr_matrix(a)
+        b = np.ones(30)
+        ref = cg_solve(a, b, eps=1e-11).x
+        res = solver(a, b, eps=1e-11)
+        assert np.allclose(res.x, ref, atol=1e-7)
+
+
+class TestGMRESSpecific:
+    def test_restart_validation(self):
+        with pytest.raises(ValueError, match="restart"):
+            gmres_solve(sp.eye(3).tocsr(), np.ones(3), restart=0)
+
+    def test_small_restart_still_converges(self):
+        a = nonsym(30, 9)
+        x = np.random.default_rng(10).normal(size=30)
+        res = gmres_solve(a, a @ x, restart=5, eps=1e-10, max_iter=3000)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-5)
+
+    def test_block_ic_preconditioner_composes(self):
+        """BlockIC (built from the symmetric part) preconditions GMRES."""
+        a = nonsym(30, 11, shift=0.1)
+        sym = sp.csr_matrix(0.5 * (a + a.T))
+        m = bic(sym, fill_level=0, b=3)
+        res = gmres_solve(a, np.ones(30), m, eps=1e-10)
+        assert res.converged
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 40), seed=st.integers(0, 1000))
+def test_property_bicgstab_solves(n, seed):
+    a = nonsym(n, seed, shift=0.2)
+    x = np.random.default_rng(seed).normal(size=n)
+    res = bicgstab_solve(a, a @ x, eps=1e-10, max_iter=10 * n + 200)
+    if res.converged:  # breakdown is legal for BiCGSTAB; converged => correct
+        assert np.linalg.norm(res.x - x) <= 1e-4 * max(1.0, np.linalg.norm(x))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 30), seed=st.integers(0, 1000))
+def test_property_gmres_solves(n, seed):
+    a = nonsym(n, seed, shift=0.2)
+    x = np.random.default_rng(seed).normal(size=n)
+    res = gmres_solve(a, a @ x, eps=1e-10, restart=min(30, n), max_iter=20 * n + 200)
+    assert res.converged
+    assert np.linalg.norm(res.x - x) <= 1e-4 * max(1.0, np.linalg.norm(x))

@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.generators import box_mesh
+from repro.fem.model import build_contact_problem
+from repro.parallel.partition import build_domains, partition_nodes_rcb
+
+
+@pytest.fixture(scope="module")
+def box_problem():
+    return build_contact_problem(box_mesh(4, 4, 4))
+
+
+class TestRCB:
+    def test_partition_complete_and_balanced(self):
+        rng = np.random.default_rng(0)
+        coords = rng.normal(size=(100, 3))
+        part = partition_nodes_rcb(coords, 4)
+        counts = np.bincount(part)
+        assert counts.sum() == 100
+        assert counts.min() >= 20
+
+    def test_non_power_of_two(self):
+        coords = np.random.default_rng(1).normal(size=(90, 3))
+        part = partition_nodes_rcb(coords, 3)
+        counts = np.bincount(part)
+        assert counts.size == 3 and counts.min() >= 25
+
+    def test_single_domain(self):
+        coords = np.zeros((5, 3))
+        assert np.all(partition_nodes_rcb(coords, 1) == 0)
+
+    def test_weights_respected(self):
+        coords = np.stack([np.arange(10.0), np.zeros(10), np.zeros(10)], axis=1)
+        w = np.ones(10)
+        w[0] = 9.0  # heavy point
+        part = partition_nodes_rcb(coords, 2, weights=w)
+        counts = np.bincount(part)
+        # the heavy point's side should carry fewer points
+        heavy_side = part[0]
+        assert counts[heavy_side] < counts[1 - heavy_side]
+
+    def test_too_many_domains_rejected(self):
+        with pytest.raises(ValueError):
+            partition_nodes_rcb(np.zeros((3, 3)), 4)
+
+    def test_geometric_locality(self):
+        """RCB on a line splits it into contiguous intervals."""
+        coords = np.stack([np.arange(16.0), np.zeros(16), np.zeros(16)], axis=1)
+        part = partition_nodes_rcb(coords, 4)
+        for d in range(4):
+            idx = np.flatnonzero(part == d)
+            assert idx.max() - idx.min() == idx.size - 1
+
+
+class TestBuildDomains:
+    def test_internal_nodes_partition(self, box_problem):
+        part = partition_nodes_rcb(box_problem.mesh.coords, 4)
+        domains = build_domains(box_problem.a, part)
+        allnodes = np.sort(np.concatenate([d.internal_nodes for d in domains]))
+        assert np.array_equal(allnodes, np.arange(box_problem.mesh.n_nodes))
+
+    def test_external_nodes_are_matrix_neighbors(self, box_problem):
+        part = partition_nodes_rcb(box_problem.mesh.coords, 4)
+        domains = build_domains(box_problem.a, part)
+        adj = box_problem.a_bcsr.node_adjacency()
+        for dom in domains:
+            mask = np.zeros(box_problem.mesh.n_nodes, dtype=bool)
+            mask[dom.internal_nodes] = True
+            for e in dom.external_nodes:
+                nbrs = adj.indices[adj.indptr[e] : adj.indptr[e + 1]]
+                assert mask[nbrs].any()
+                assert not mask[e]
+
+    def test_comm_tables_are_mirrored(self, box_problem):
+        part = partition_nodes_rcb(box_problem.mesh.coords, 4)
+        domains = build_domains(box_problem.a, part)
+        for d, dom in enumerate(domains):
+            for owner, recv in dom.recv_tables.items():
+                send = domains[owner].send_tables[d]
+                assert send.size == recv.size
+                # the sent nodes (global ids) match the received ones
+                sent_glob = domains[owner].internal_nodes[send]
+                recv_glob = dom.external_nodes[recv - dom.n_internal]
+                assert np.array_equal(sent_glob, recv_glob)
+
+    def test_local_matvec_equals_global(self, box_problem):
+        """Distributed matvec with exchanged externals == global matvec."""
+        part = partition_nodes_rcb(box_problem.mesh.coords, 3)
+        domains = build_domains(box_problem.a, part)
+        ndof = box_problem.ndof
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=ndof)
+        y_ref = box_problem.a @ x
+        for dom in domains:
+            loc = np.concatenate([dom.internal_nodes, dom.external_nodes])
+            xloc = x[(loc[:, None] * 3 + np.arange(3)).reshape(-1)]
+            yloc = dom.a_local @ xloc
+            rows = (dom.internal_nodes[:, None] * 3 + np.arange(3)).reshape(-1)
+            assert np.allclose(yloc, y_ref[rows])
+
+    def test_empty_domain_rejected(self, box_problem):
+        part = np.zeros(box_problem.mesh.n_nodes, dtype=int)
+        part[0] = 2  # domain 1 empty
+        with pytest.raises(ValueError, match="empty"):
+            build_domains(box_problem.a, part)
+
+    def test_boundary_nodes_subset_of_internal(self, box_problem):
+        part = partition_nodes_rcb(box_problem.mesh.coords, 4)
+        domains = build_domains(box_problem.a, part)
+        for dom in domains:
+            bn = dom.boundary_nodes
+            assert bn.size == 0 or bn.max() < dom.n_internal
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), ndom=st.integers(1, 6))
+def test_property_rcb_covers_everything(seed, ndom):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(ndom, 60))
+    coords = rng.normal(size=(n, 3))
+    part = partition_nodes_rcb(coords, ndom)
+    assert part.size == n
+    assert set(np.unique(part)) == set(range(ndom))

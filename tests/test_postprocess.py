@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.fem.generators import box_mesh
+from repro.fem.material import IsotropicElastic
+from repro.fem.postprocess import (
+    element_strains,
+    element_stresses,
+    fault_stress_accumulation,
+    nodal_average,
+    von_mises,
+)
+
+
+@pytest.fixture(scope="module")
+def box():
+    return box_mesh(3, 3, 3)
+
+
+def linear_field(mesh, grad):
+    """u_i = grad[i, j] * x_j — constant-strain displacement field."""
+    return (mesh.coords @ np.asarray(grad).T).reshape(-1)
+
+
+class TestStrains:
+    def test_uniform_extension(self, box):
+        eps = element_strains(box, linear_field(box, [[0.01, 0, 0], [0, 0, 0], [0, 0, 0]]))
+        assert np.allclose(eps[:, 0], 0.01)
+        assert np.allclose(eps[:, 1:], 0.0, atol=1e-14)
+
+    def test_simple_shear(self, box):
+        # u_x = 0.02 * y -> engineering shear gamma_xy = 0.02
+        eps = element_strains(box, linear_field(box, [[0, 0.02, 0], [0, 0, 0], [0, 0, 0]]))
+        assert np.allclose(eps[:, 3], 0.02)
+        assert np.allclose(eps[:, [0, 1, 2, 4, 5]], 0.0, atol=1e-14)
+
+    def test_rigid_rotation_strain_free(self, box):
+        # infinitesimal rotation: u = omega x r
+        eps = element_strains(box, linear_field(box, [[0, -0.01, 0], [0.01, 0, 0], [0, 0, 0]]))
+        assert np.allclose(eps, 0.0, atol=1e-13)
+
+    def test_shape_validation(self, box):
+        with pytest.raises(ValueError, match="shape"):
+            element_strains(box, np.zeros(5))
+
+
+class TestStresses:
+    def test_uniaxial_strain_stress(self, box):
+        mat = IsotropicElastic(1.0, 0.3)
+        s = element_stresses(box, linear_field(box, [[0.01, 0, 0], [0, 0, 0], [0, 0, 0]]), mat)
+        d = mat.elasticity_matrix()
+        assert np.allclose(s[:, 0], d[0, 0] * 0.01)
+        assert np.allclose(s[:, 1], d[1, 0] * 0.01)
+
+    def test_material_dict(self, box):
+        mats = {0: IsotropicElastic(2.0, 0.3)}
+        s = element_stresses(box, linear_field(box, [[0.01, 0, 0], [0, 0, 0], [0, 0, 0]]), mats)
+        assert np.allclose(s[:, 0], 2.0 * IsotropicElastic(1.0, 0.3).elasticity_matrix()[0, 0] * 0.01)
+
+    def test_missing_material(self, box):
+        with pytest.raises(ValueError, match="missing"):
+            element_stresses(box, np.zeros(box.ndof), {5: IsotropicElastic()})
+
+
+class TestVonMises:
+    def test_pure_hydrostatic_is_zero(self):
+        s = np.array([[2.0, 2.0, 2.0, 0.0, 0.0, 0.0]])
+        assert np.isclose(von_mises(s)[0], 0.0)
+
+    def test_uniaxial(self):
+        s = np.array([[3.0, 0.0, 0.0, 0.0, 0.0, 0.0]])
+        assert np.isclose(von_mises(s)[0], 3.0)
+
+    def test_pure_shear(self):
+        s = np.array([[0.0, 0.0, 0.0, 2.0, 0.0, 0.0]])
+        assert np.isclose(von_mises(s)[0], 2.0 * np.sqrt(3.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            von_mises(np.zeros((3, 5)))
+
+
+class TestNodalAverage:
+    def test_constant_field_preserved(self, box):
+        vals = np.full(box.n_elem, 7.0)
+        out = nodal_average(box, vals)
+        assert np.allclose(out, 7.0)
+
+    def test_vector_valued(self, box):
+        vals = np.ones((box.n_elem, 6)) * np.arange(6)
+        out = nodal_average(box, vals)
+        assert out.shape == (box.n_nodes, 6)
+        assert np.allclose(out, np.arange(6))
+
+
+class TestFaultAccumulation:
+    def test_values_per_group(self, block_problem_small):
+        from repro.precond import sb_bic0
+        from repro.solvers.cg import cg_solve
+
+        prob = block_problem_small
+        res = cg_solve(prob.a, prob.b, sb_bic0(prob.a, prob.groups))
+        acc = fault_stress_accumulation(prob.mesh, res.x)
+        assert acc.shape == (len(prob.mesh.contact_groups),)
+        assert np.isfinite(acc).all()
+        assert (acc >= 0).all()
+        assert acc.max() > 0

@@ -1,0 +1,206 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reorder import (
+    Coloring,
+    adjacency_from_pattern,
+    cm_rcm,
+    cuthill_mckee,
+    greedy_color,
+    multicolor,
+    reverse_cuthill_mckee,
+)
+from repro.reorder.graph import is_independent_set
+
+
+def random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    upper = rng.random((n, n)) < p
+    m = np.triu(upper, 1)
+    adj = m | m.T
+    return adjacency_from_pattern(sp.csr_matrix(adj.astype(float)))
+
+
+def grid_graph(nx, ny):
+    g = sp.lil_matrix((nx * ny, nx * ny))
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                g[v, (i + 1) * ny + j] = 1
+            if j + 1 < ny:
+                g[v, i * ny + j + 1] = 1
+    return adjacency_from_pattern(g.tocsr())
+
+
+class TestGreedyColor:
+    def test_valid_coloring(self):
+        adj = random_graph(30, 0.2, 0)
+        colors = greedy_color(adj)
+        Coloring(colors=colors, ncolors=int(colors.max()) + 1).validate(adj)
+
+    def test_path_graph_two_colors(self):
+        adj = grid_graph(1, 10)
+        colors = greedy_color(adj)
+        assert colors.max() + 1 == 2
+
+    def test_complete_graph_needs_n(self):
+        n = 5
+        adj = adjacency_from_pattern(sp.csr_matrix(np.ones((n, n))))
+        colors = greedy_color(adj)
+        assert colors.max() + 1 == n
+
+
+class TestMulticolor:
+    def test_minimal_palette_by_default(self):
+        adj = grid_graph(6, 6)
+        col = multicolor(adj)
+        assert col.ncolors <= 4  # grid is 2-chromatic; greedy may use a few more
+        col.validate(adj)
+
+    def test_target_colors_reached(self):
+        adj = grid_graph(8, 8)
+        col = multicolor(adj, ncolors=10)
+        assert col.ncolors == 10
+        col.validate(adj)
+
+    def test_subdivision_balances_classes(self):
+        adj = grid_graph(10, 10)
+        col = multicolor(adj, ncolors=20)
+        sizes = col.class_sizes()
+        sizes = sizes[sizes > 0]
+        assert sizes.max() <= 2 * max(sizes.min(), 1) + 2
+
+    def test_target_below_chromatic_returns_base(self):
+        n = 5
+        adj = adjacency_from_pattern(sp.csr_matrix(np.ones((n, n))))
+        col = multicolor(adj, ncolors=2)
+        assert col.ncolors == n
+
+    def test_target_above_n_clamped(self):
+        adj = grid_graph(3, 3)
+        col = multicolor(adj, ncolors=100)
+        assert col.ncolors <= 9
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            multicolor(grid_graph(2, 2), ncolors=-1)
+
+    def test_color_major_perm_orders_classes(self):
+        adj = grid_graph(5, 5)
+        col = multicolor(adj, ncolors=5)
+        reordered_colors = col.colors[col.perm]
+        assert np.all(np.diff(reordered_colors) >= 0)
+
+
+class TestColoring:
+    def test_validate_catches_conflict(self):
+        adj = grid_graph(1, 3)  # path 0-1-2
+        bad = Coloring(colors=np.array([0, 0, 1]), ncolors=2)
+        with pytest.raises(ValueError, match="adjacent"):
+            bad.validate(adj)
+
+    def test_class_members_match_colors(self):
+        adj = grid_graph(4, 4)
+        col = multicolor(adj, ncolors=4)
+        for c in range(col.ncolors):
+            assert np.all(col.colors[col.class_members(c)] == c)
+
+    def test_iperm_inverts_perm(self):
+        adj = grid_graph(4, 4)
+        col = multicolor(adj, ncolors=4)
+        assert np.array_equal(col.iperm[col.perm], np.arange(col.n))
+
+
+class TestCuthillMcKee:
+    def test_perm_is_permutation(self):
+        adj = random_graph(25, 0.15, 1)
+        perm, levels = cuthill_mckee(adj)
+        assert np.sort(perm).tolist() == list(range(25))
+        assert levels[-1] == 25
+
+    def test_levels_are_bfs_layers(self):
+        adj = grid_graph(1, 6)  # path graph
+        perm, levels = cuthill_mckee(adj, start=0)
+        # each level of a path from an endpoint has exactly one vertex
+        assert np.all(np.diff(levels) == 1)
+
+    def test_rcm_reverses(self):
+        adj = grid_graph(3, 4)
+        perm, _ = cuthill_mckee(adj)
+        rperm, _ = reverse_cuthill_mckee(adj)
+        assert np.array_equal(rperm, perm[::-1])
+
+    def test_rcm_reduces_bandwidth(self):
+        rng = np.random.default_rng(2)
+        adj = grid_graph(6, 6)
+        perm, _ = reverse_cuthill_mckee(adj)
+        iperm = np.empty(36, dtype=int)
+        iperm[perm] = np.arange(36)
+        coo = adj.tocoo()
+        shuffled = rng.permutation(36)
+        bw_rand = np.abs(shuffled[coo.row] - shuffled[coo.col]).max()
+        bw_rcm = np.abs(iperm[coo.row] - iperm[coo.col]).max()
+        assert bw_rcm <= bw_rand
+
+    def test_disconnected_graph_covered(self):
+        g = sp.block_diag([grid_graph(2, 2), grid_graph(2, 2)]).tocsr()
+        adj = adjacency_from_pattern(g)
+        perm, _ = cuthill_mckee(adj)
+        assert np.sort(perm).tolist() == list(range(8))
+
+
+class TestCMRCM:
+    def test_valid_coloring_on_grid(self):
+        adj = grid_graph(6, 6)
+        col = cm_rcm(adj, 4)
+        col.validate(adj)
+
+    def test_valid_on_random(self):
+        adj = random_graph(40, 0.15, 3)
+        col = cm_rcm(adj, 5)
+        col.validate(adj)
+
+    def test_rejects_single_color(self):
+        with pytest.raises(ValueError):
+            cm_rcm(grid_graph(2, 2), 1)
+
+
+class TestIndependentSet:
+    def test_detects_dependence(self):
+        adj = grid_graph(1, 3)
+        assert not is_independent_set(adj, np.array([0, 1]))
+        assert is_independent_set(adj, np.array([0, 2]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(3, 30), p=st.floats(0.05, 0.5), seed=st.integers(0, 10_000))
+def test_property_multicolor_always_valid(n, p, seed):
+    adj = random_graph(n, p, seed)
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(0, n + 1))
+    col = multicolor(adj, ncolors=target)
+    col.validate(adj)
+    # every vertex gets exactly one color in range
+    assert col.colors.min() >= 0 and col.colors.max() < col.ncolors
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(3, 25), p=st.floats(0.05, 0.5), seed=st.integers(0, 10_000))
+def test_property_cmrcm_always_valid(n, p, seed):
+    adj = random_graph(n, p, seed)
+    col = cm_rcm(adj, 3)
+    col.validate(adj)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 25), p=st.floats(0.05, 0.5), seed=st.integers(0, 10_000))
+def test_property_cm_perm_valid(n, p, seed):
+    adj = random_graph(n, p, seed)
+    perm, levels = cuthill_mckee(adj)
+    assert np.sort(perm).tolist() == list(range(n))
+    assert levels[0] == 0 and levels[-1] == n
+    assert np.all(np.diff(levels) >= 1)

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.parallel import contact_aware_partition, partition_nodes_rcb
+from repro.precond import LocalizedPreconditioner, TwoLevelPreconditioner, bic, sb_bic0
+from repro.precond.localized import restrict_groups
+from repro.precond.twolevel import aggregation_operator
+from repro.solvers.cg import cg_solve
+
+
+class TestAggregation:
+    def test_shape_and_partition_of_unity(self):
+        part = np.array([0, 0, 1, 1, 1])
+        r = aggregation_operator(part, b=3)
+        assert r.shape == (6, 15)
+        # rows sum to 1 (averaging)
+        assert np.allclose(np.asarray(r.sum(axis=1)).reshape(-1), 1.0)
+
+    def test_component_separation(self):
+        part = np.array([0, 0])
+        r = aggregation_operator(part, b=3).toarray()
+        # coarse x-row touches only x DOFs
+        assert np.allclose(r[0, [1, 2, 4, 5]], 0.0)
+        assert np.allclose(r[0, [0, 3]], 0.5)
+
+
+class TestTwoLevel:
+    def test_spd_action(self, block_problem_small):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 4)
+        tl = TwoLevelPreconditioner(p.a, part, lambda s, n: bic(s, fill_level=0))
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=p.ndof), rng.normal(size=p.ndof)
+        assert np.isclose(x @ tl.apply(y), tl.apply(x) @ y, rtol=1e-8)
+        for _ in range(3):
+            v = rng.normal(size=p.ndof)
+            assert v @ tl.apply(v) > 0
+
+    def test_never_worse_than_localized(self, block_problem_stiff):
+        p = block_problem_stiff
+        part = contact_aware_partition(p.mesh.coords, p.groups, 8)
+
+        def factory(sub, nodes):
+            return sb_bic0(sub, restrict_groups(p.groups, nodes, p.mesh.n_nodes))
+
+        lp = LocalizedPreconditioner(p.a, part, factory)
+        tl = TwoLevelPreconditioner(p.a, part, factory)
+        r1 = cg_solve(p.a, p.b, lp, max_iter=30000)
+        r2 = cg_solve(p.a, p.b, tl, max_iter=30000)
+        assert r2.converged
+        assert r2.iterations <= r1.iterations
+
+    def test_improvement_grows_with_domains(self, block_problem_stiff):
+        """On the ill-conditioned problem with contact-aware partitions,
+        the coarse space pays off more as the domain count grows."""
+        p = block_problem_stiff
+        gains = []
+        for nd in (2, 8):
+            part = contact_aware_partition(p.mesh.coords, p.groups, nd)
+
+            def factory(sub, nodes):
+                return sb_bic0(sub, restrict_groups(p.groups, nodes, p.mesh.n_nodes))
+
+            lp = LocalizedPreconditioner(p.a, part, factory)
+            tl = TwoLevelPreconditioner(p.a, part, factory)
+            i1 = cg_solve(p.a, p.b, lp, max_iter=30000).iterations
+            i2 = cg_solve(p.a, p.b, tl, max_iter=30000).iterations
+            gains.append(i1 - i2)
+        assert gains[1] >= gains[0]
+
+    def test_solution_correct(self, block_problem_small, block_reference):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 4)
+        tl = TwoLevelPreconditioner(p.a, part, lambda s, n: bic(s, fill_level=0))
+        res = cg_solve(p.a, p.b, tl)
+        err = np.linalg.norm(res.x - block_reference) / np.linalg.norm(block_reference)
+        assert err < 1e-6
+
+    def test_memory_accounts_for_parts(self, block_problem_small):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 4)
+        tl = TwoLevelPreconditioner(p.a, part, lambda s, n: bic(s, fill_level=0))
+        lp = LocalizedPreconditioner(p.a, part, lambda s, n: bic(s, fill_level=0))
+        assert tl.memory_bytes() >= lp.memory_bytes()

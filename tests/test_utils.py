@@ -1,0 +1,87 @@
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import Timer, check_index_array, check_permutation, check_square_csr, check_symmetric
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_initial_zero(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestCheckIndexArray:
+    def test_valid(self):
+        a = check_index_array(np.array([0, 1, 2]), 3)
+        assert a.tolist() == [0, 1, 2]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            check_index_array(np.array([0, 3]), 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError, match="outside"):
+            check_index_array(np.array([-1]), 3)
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_index_array(np.array([0.5]), 3)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_index_array(np.zeros((2, 2), dtype=int), 4)
+
+    def test_empty_ok(self):
+        assert check_index_array(np.array([], dtype=int), 0).size == 0
+
+
+class TestCheckPermutation:
+    def test_valid(self):
+        check_permutation(np.array([2, 0, 1]), 3)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_permutation(np.array([0, 1]), 3)
+
+    def test_duplicate(self):
+        with pytest.raises(ValueError, match="bijection"):
+            check_permutation(np.array([0, 0, 2]), 3)
+
+
+class TestCheckSquareCsr:
+    def test_coerces(self):
+        a = check_square_csr(sp.eye(3).tocoo())
+        assert sp.issparse(a) and a.format == "csr"
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_csr(sp.random(3, 4, density=0.5))
+
+
+class TestCheckSymmetric:
+    def test_symmetric_passes(self):
+        a = sp.eye(4).tocsr()
+        check_symmetric(a)
+
+    def test_asymmetric_raises(self):
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError, match="not symmetric"):
+            check_symmetric(a)

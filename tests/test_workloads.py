@@ -1,0 +1,54 @@
+"""The shared experiment workloads themselves."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    block_problem,
+    dof_summary,
+    homogeneous_box_problem,
+    swjapan_problem,
+    table2_block_mesh,
+)
+
+
+class TestWorkloads:
+    def test_block_scales_monotonically(self):
+        small = table2_block_mesh(0.5)
+        big = table2_block_mesh(1.0)
+        assert big.n_nodes > small.n_nodes
+
+    def test_block_problem_spd_ready(self):
+        prob = block_problem(0.4, penalty=1e4)
+        assert prob.ndof == 3 * prob.mesh.n_nodes
+        assert prob.a.shape == (prob.ndof, prob.ndof)
+        assert len(prob.groups) > 0
+
+    def test_swjapan_problem_builds(self):
+        prob = swjapan_problem(0.4, penalty=1e4)
+        assert prob.ndof > 0
+        assert len(prob.groups) > 0
+        # body-force load: nonzero RHS everywhere inside
+        assert np.linalg.norm(prob.b) > 0
+
+    def test_homogeneous_box_has_no_groups(self):
+        prob = homogeneous_box_problem(4)
+        assert prob.groups == []
+
+    def test_minimum_scale_clamped(self):
+        mesh = table2_block_mesh(0.01)
+        assert mesh.n_nodes > 0
+
+    def test_dof_summary_mentions_counts(self):
+        prob = block_problem(0.4, penalty=1e2)
+        s = dof_summary(prob)
+        assert str(prob.ndof) in s and "contact groups" in s
+
+    @pytest.mark.parametrize("scale", [0.4, 0.8])
+    def test_problems_solvable_at_any_scale(self, scale):
+        from repro.precond import sb_bic0
+        from repro.solvers.cg import cg_solve
+
+        prob = block_problem(scale, penalty=1e6)
+        res = cg_solve(prob.a, prob.b, sb_bic0(prob.a, prob.groups), max_iter=20000)
+        assert res.converged
