@@ -15,6 +15,13 @@ import pytest
 from repro.experiments.common import ReproTable
 
 
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ belongs to the slow `bench` tier, so
+    the fast test gate can deselect it with ``-m "not bench"``."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def run_experiment(benchmark):
     """Benchmark an experiment once and verify its claims."""

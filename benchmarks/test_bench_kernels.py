@@ -41,6 +41,13 @@ def test_bench_sbbic_apply(benchmark, problem, sb_precond):
     benchmark(sb_precond.apply, r)
 
 
+def test_bench_sbbic_reference_apply(benchmark, problem, sb_precond):
+    """The pre-compilation bucketed path, kept as the speedup baseline."""
+    r = np.random.default_rng(1).normal(size=problem.ndof)
+    sb_precond.reference_apply(r)  # build the lazy bucket structures
+    benchmark(sb_precond.reference_apply, r)
+
+
 def test_bench_bic0_apply(benchmark, problem):
     m = bic(problem.a, fill_level=0)
     r = np.random.default_rng(2).normal(size=problem.ndof)

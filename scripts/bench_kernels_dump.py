@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Measure the solver hot-path kernels and dump ``BENCH_kernels.json``.
+
+Two layers of measurement:
+
+1. A direct before/after micro-comparison on the paper's Fig. 23 contact
+   model (``simple_block_model(6, 6, 4, 6, 6)``, penalty 1e6): the
+   compiled-CSR ``BlockICFactorization.apply`` against the original
+   bucketed ``reference_apply``, and the full SB-BIC(0) ``cg_solve``
+   against the same solve driven through the reference path.  These are
+   the speedups the perf trajectory tracks.
+2. Optionally (skipped with ``--quick``), the pytest-benchmark suite in
+   ``benchmarks/test_bench_kernels.py``, whose statistics are embedded
+   verbatim.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels_dump.py           # full
+    PYTHONPATH=src python scripts/bench_kernels_dump.py --quick   # CI smoke
+
+Writes ``BENCH_kernels.json`` at the repository root (override with
+``--out``).  Exit status is non-zero if the measured speedups regress
+below the floors recorded in the acceptance criteria (apply >= 3x,
+cg_solve >= 1.5x) unless ``--no-gate`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fem.generators import simple_block_model  # noqa: E402
+from repro.fem.model import build_contact_problem  # noqa: E402
+from repro.precond import sb_bic0  # noqa: E402
+from repro.precond.base import Preconditioner  # noqa: E402
+from repro.solvers.cg import cg_solve  # noqa: E402
+
+
+class ReferenceApply(Preconditioner):
+    """Drives a factorization through its bucketed reference path."""
+
+    def __init__(self, m):
+        self._m = m
+        self.name = m.name + " (reference)"
+        self.setup_seconds = m.setup_seconds
+
+    def apply(self, r):
+        return self._m.reference_apply(r)
+
+
+def best_of(fn, *args, reps: int) -> float:
+    """Minimum wall time of ``fn(*args)`` over ``reps`` runs (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_pytest_suite() -> list[dict] | None:
+    """Run benchmarks/test_bench_kernels.py, return its benchmark stats."""
+    with tempfile.TemporaryDirectory() as td:
+        json_path = Path(td) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO_ROOT / "benchmarks" / "test_bench_kernels.py"),
+                "--benchmark-only",
+                "-q",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not json_path.exists():
+            print("pytest benchmark suite failed:\n" + proc.stdout + proc.stderr)
+            return None
+        data = json.loads(json_path.read_text())
+    return [
+        {
+            "name": b["name"],
+            "mean_s": b["stats"]["mean"],
+            "min_s": b["stats"]["min"],
+            "stddev_s": b["stats"]["stddev"],
+            "rounds": b["stats"]["rounds"],
+        }
+        for b in data.get("benchmarks", [])
+    ]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke mode: few reps, skip the pytest suite")
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json")
+    ap.add_argument("--no-gate", action="store_true", help="never fail on regressed speedups")
+    args = ap.parse_args(argv)
+
+    apply_reps = 5 if args.quick else 50
+    cg_rounds = 1 if args.quick else 3
+
+    print("building simple_block_model(6, 6, 4, 6, 6), penalty 1e6 ...")
+    problem = build_contact_problem(simple_block_model(6, 6, 4, 6, 6), penalty=1e6)
+    m = sb_bic0(problem.a, problem.groups)
+    rng = np.random.default_rng(1)
+    r = rng.normal(size=problem.ndof)
+    m.reference_apply(r)  # materialize the lazy reference structures
+
+    fast_s = best_of(m.apply, r, reps=apply_reps)
+    ref_s = best_of(m.reference_apply, r, reps=apply_reps)
+    rel_err = float(
+        np.linalg.norm(m.apply(r) - m.reference_apply(r))
+        / np.linalg.norm(m.reference_apply(r))
+    )
+    apply_speedup = ref_s / fast_s
+    print(f"sbbic_apply: fast {fast_s * 1e3:.3f} ms, bucketed {ref_s * 1e3:.3f} ms "
+          f"-> {apply_speedup:.2f}x (rel err {rel_err:.2e})")
+
+    fast_cg = best_of(lambda: cg_solve(problem.a, problem.b, m), reps=cg_rounds)
+    ref_cg = best_of(
+        lambda: cg_solve(problem.a, problem.b, ReferenceApply(m)), reps=cg_rounds
+    )
+    cg_speedup = ref_cg / fast_cg
+    iters = cg_solve(problem.a, problem.b, m).iterations
+    print(f"sbbic cg_solve ({iters} iters): fast {fast_cg * 1e3:.1f} ms, "
+          f"bucketed {ref_cg * 1e3:.1f} ms -> {cg_speedup:.2f}x")
+
+    bsr = problem.a_bcsr.to_bsr()
+    matvec_s = best_of(lambda: bsr @ r, reps=apply_reps)
+
+    suite = None if args.quick else run_pytest_suite()
+
+    out = {
+        "meta": {
+            "model": "simple_block_model(6, 6, 4, 6, 6)",
+            "penalty": 1.0e6,
+            "ndof": int(problem.ndof),
+            "quick": bool(args.quick),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "generated_by": "scripts/bench_kernels_dump.py",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "apply_comparison": {
+            "fast_s": fast_s,
+            "bucketed_reference_s": ref_s,
+            "speedup": apply_speedup,
+            "relative_error": rel_err,
+        },
+        "cg_comparison": {
+            "fast_s": fast_cg,
+            "bucketed_reference_s": ref_cg,
+            "speedup": cg_speedup,
+            "iterations": int(iters),
+        },
+        "kernels": {
+            "bsr_matvec_s": matvec_s,
+            "sbbic_setup_s": float(m.setup_seconds),
+        },
+        "pytest_benchmarks": suite,
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.no_gate:
+        floors = [("sbbic_apply", apply_speedup, 3.0), ("sbbic_cg_solve", cg_speedup, 1.5)]
+        failed = [(n, s, f) for n, s, f in floors if s < f]
+        if failed:
+            for n, s, f in failed:
+                print(f"REGRESSION: {n} speedup {s:.2f}x below floor {f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

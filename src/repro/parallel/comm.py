@@ -80,3 +80,19 @@ class LockstepComm:
             raise ValueError(f"expected {self.size} contributions, got {len(contributions)}")
         self.log.record_allreduce()
         return float(np.sum(contributions))
+
+    def allreduce_sum_vec(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Element-wise global sum of one small vector per rank.
+
+        One MPI_Allreduce on a k-element buffer costs a single latency,
+        while k scalar allreduces cost k of them — fusing the CG dot
+        products this way is the latency optimization the paper's Fig. 20
+        model quantifies.  Counted as ONE allreduce in the log.
+        """
+        if len(contributions) != self.size:
+            raise ValueError(f"expected {self.size} contributions, got {len(contributions)}")
+        stacked = np.asarray(contributions, dtype=np.float64)
+        if stacked.ndim != 2:
+            raise ValueError("each rank must contribute a 1-D vector of equal length")
+        self.log.record_allreduce()
+        return stacked.sum(axis=0)

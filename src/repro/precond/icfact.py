@@ -55,11 +55,36 @@ __all__ = ["BlockICFactorization", "lower_fill_pattern"]
 
 
 def _scatter_add(vec: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
-    """``vec[idx] += vals`` with duplicate indices, picking the faster path."""
-    if idx.size > 4096:
+    """``vec[idx] += vals`` with duplicate indices, picking the faster path.
+
+    ``bincount`` materializes a dense ``vec.size`` array, so it only wins
+    when the scatter is dense relative to the target; small scatters into
+    large vectors would pay an O(n) allocation for O(idx.size) work.
+    """
+    if idx.size > vec.size // 4:
         vec += np.bincount(idx, weights=vals, minlength=vec.size)
     else:
         np.add.at(vec, idx, vals)
+
+
+def _sorted_csr(m: sp.csr_matrix) -> sp.csr_matrix:
+    """Canonicalize a CSR product for deterministic, fast matvecs."""
+    m = m.tocsr()
+    m.sum_duplicates()
+    m.sort_indices()
+    return m
+
+
+def _ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``[s, s+1, ..., s+l-1]`` ranges, fully vectorized."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shift = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.repeat(np.asarray(starts, dtype=np.int64) - shift, lengths) + np.arange(
+        total, dtype=np.int64
+    )
 
 
 def lower_fill_pattern(adj: sp.csr_matrix, level: int):
@@ -275,16 +300,44 @@ class BlockICFactorization(Preconditioner):
         return adjacency_from_pattern(g)
 
     def _level_schedule(self) -> list[np.ndarray]:
-        """Wave decomposition of the filled lower-triangular DAG."""
+        """Wave decomposition of the filled lower-triangular DAG.
+
+        Vectorized topological (Kahn) sweep over the CSR arrays: wave w
+        collects every row whose strictly-lower neighbours all sit in
+        earlier waves, which reproduces the per-row recurrence
+        ``wave[i] = max(wave[nbrs(i)]) + 1`` one frontier at a time with
+        array operations instead of an O(N) Python loop.
+        """
         n = self.L.N
+        if n == 0:
+            return []
         indptr, indices = self.L.indptr, self.L.indices
-        wave = np.zeros(n, dtype=np.int64)
-        for i in range(n):
-            nbrs = indices[indptr[i] : indptr[i + 1] - 1]  # exclude diagonal
-            if nbrs.size:
-                wave[i] = wave[nbrs].max() + 1
-        nwaves = int(wave.max()) + 1 if n else 0
-        return [np.flatnonzero(wave == w).astype(np.int64) for w in range(nwaves)]
+        # remaining strictly-lower dependencies per row (diag is last)
+        deps = np.diff(indptr) - 1
+        # CSC view of the strictly-lower pattern: rows depending on a column
+        offdiag = self._offdiag_positions()
+        order = np.argsort(indices[offdiag], kind="stable")
+        by_col = offdiag[order]
+        col_sorted = indices[by_col]
+        dep_rows = self.L.block_rows()[by_col]
+        col_ptr = np.searchsorted(col_sorted, np.arange(n + 1))
+
+        waves: list[np.ndarray] = []
+        frontier = np.flatnonzero(deps == 0).astype(np.int64)
+        assigned = 0
+        while frontier.size:
+            waves.append(frontier)
+            assigned += frontier.size
+            starts = col_ptr[frontier]
+            lens = col_ptr[frontier + 1] - starts
+            hit = dep_rows[_ranges(starts, lens)]
+            deps[frontier] = -1  # retire, so flatnonzero never re-selects
+            if hit.size:
+                deps -= np.bincount(hit, minlength=n)
+            frontier = np.flatnonzero(deps == 0).astype(np.int64)
+        if assigned != n:
+            raise AssertionError("level schedule did not cover all rows")
+        return waves
 
     # ------------------------------------------------------------------
     # numeric factorization
@@ -456,14 +509,185 @@ class BlockICFactorization(Preconditioner):
     # ------------------------------------------------------------------
 
     def _prepare_apply(self) -> None:
-        """Pre-gather per-group shape buckets for substitution."""
+        """Compile each schedule group's substitution into native kernels.
+
+        The per-bucket Python loops of :meth:`reference_apply` are folded,
+        at setup time, into three scipy CSR operators per schedule group:
+
+        - ``L_g``  (``ng x ndof``): the strictly-lower blocks whose *row*
+          lies in group g, expanded to scalars — one ``csr @ y`` replaces
+          the gather/batched-matmul/scatter-add forward bucket loop;
+        - ``U_g``  (``ng x ndof``): the transposed strictly-lower blocks
+          whose *column* lies in group g (the rows of ``L^T`` owned by g);
+        - ``Dinv_g`` (``ng x ng``): the block-diagonal of factorized
+          inverse diagonal blocks, handling all block sizes of the group
+          in a single matvec (no per-shape dispatch).
+
+        Columns of ``L_g`` only reference earlier groups and columns of
+        ``U_g`` only later groups, so the group sweep needs no masking,
+        and ``Dinv_g`` is folded into the substitution operators at setup
+        (``Dinv_g @ L_g``), leaving one native matvec per group in each
+        sweep.  Work vectors are preallocated here and reused by every
+        :meth:`apply` call (allocation-free hot path).
+        """
+        n = self.ndof
+        L = self.L
+        brow = L.block_rows()
+        offdiag = self._offdiag_positions()
+        shape_r = self.sizes[brow]
+        shape_c = self.sizes[L.indices]
+        group_of = np.empty(L.N, dtype=np.int64)
+        for g, members in enumerate(self.schedule):
+            group_of[members] = g
+        self._group_of = group_of
+        row_group = group_of[brow[offdiag]]
+        col_group = group_of[L.indices[offdiag]]
+
+        loc = np.empty(n, dtype=np.int64)
+        self._group_sel: list = []  # slice (contiguous group) or index array
+        self._fwd_ops: list[sp.csr_matrix | None] = []
+        self._bwd_ops: list[sp.csr_matrix | None] = []
+        dinv_parts: list[sp.csr_matrix] = []
+        for g, members in enumerate(self.schedule):
+            dof = _ranges(L.offsets[members], self.sizes[members])
+            ng = dof.size
+            loc[dof] = np.arange(ng)
+            if ng and int(dof[-1] - dof[0]) + 1 == ng:
+                self._group_sel.append(slice(int(dof[0]), int(dof[0]) + ng))
+            else:
+                self._group_sel.append(dof)
+            dinv_g = self._compile_dinv(members, loc, ng)
+            lg = self._compile_blocks(
+                offdiag[row_group == g], loc, ng, shape_r, shape_c, transpose=False
+            )
+            ug = self._compile_blocks(
+                offdiag[col_group == g], loc, ng, shape_r, shape_c, transpose=True
+            )
+            self._fwd_ops.append(None if lg is None else _sorted_csr(dinv_g @ lg))
+            self._bwd_ops.append(None if ug is None else _sorted_csr(dinv_g @ ug))
+            # re-express Dinv_g in global DOF numbering; all groups merge
+            # into the one whole-vector diagonal solve seeding the sweep
+            dg = dinv_g.tocoo()
+            dinv_parts.append((dof[dg.row], dof[dg.col], dg.data))
+        self._dinv_all = _sorted_csr(
+            sp.csr_matrix(
+                (
+                    np.concatenate([p[2] for p in dinv_parts]),
+                    (
+                        np.concatenate([p[0] for p in dinv_parts]),
+                        np.concatenate([p[1] for p in dinv_parts]),
+                    ),
+                ),
+                shape=(n, n),
+            )
+            if dinv_parts
+            else sp.csr_matrix((n, n))
+        )
+        self._rp = np.empty(n)
+
+    def _compile_blocks(
+        self,
+        pos: np.ndarray,
+        loc: np.ndarray,
+        ng: int,
+        shape_r: np.ndarray,
+        shape_c: np.ndarray,
+        *,
+        transpose: bool,
+    ) -> sp.csr_matrix | None:
+        """Scalar CSR of (optionally transposed) VBR blocks at *pos*,
+        with rows renumbered into the 0..ng group-local range."""
+        if pos.size == 0:
+            return None
+        rows_l, cols_l, vals = [], [], []
+        for sr, sc, p in shape_buckets(shape_r, shape_c, pos):
+            blocks = self.L.gather(p, sr, sc)
+            roff = self.L.offsets[self.L.block_rows_[p]]
+            coff = self.L.offsets[self.L.indices[p]]
+            zsc = np.zeros((1, 1, sc), dtype=np.int64)
+            zsr = np.zeros((1, sr, 1), dtype=np.int64)
+            rr = roff[:, None, None] + np.arange(sr)[None, :, None] + zsc
+            cc = coff[:, None, None] + np.arange(sc)[None, None, :] + zsr
+            if transpose:
+                rows_l.append(loc[cc].reshape(-1))
+                cols_l.append(rr.reshape(-1))
+            else:
+                rows_l.append(loc[rr].reshape(-1))
+                cols_l.append(cc.reshape(-1))
+            vals.append(blocks.reshape(-1))
+        m = sp.csr_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows_l), np.concatenate(cols_l)),
+            ),
+            shape=(ng, self.ndof),
+        )
+        m.sum_duplicates()
+        m.sort_indices()
+        return m
+
+    def _compile_dinv(self, members: np.ndarray, loc: np.ndarray, ng: int) -> sp.csr_matrix:
+        """Block-diagonal CSR of the group's inverted diagonal blocks."""
+        rows_l, cols_l, vals = [], [], []
+        for s, _sc, rows in shape_buckets(self.sizes, self.sizes, members):
+            base = self.L.offsets[rows]
+            zs = np.zeros((1, 1, s), dtype=np.int64)
+            rr = base[:, None, None] + np.arange(s)[None, :, None] + zs
+            cc = base[:, None, None] + np.arange(s)[None, None, :] + zs.transpose(0, 2, 1)
+            rows_l.append(loc[rr].reshape(-1))
+            cols_l.append(loc[cc].reshape(-1))
+            vals.append(self._gather_dinv(rows, s).reshape(-1))
+        d = sp.csr_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows_l), np.concatenate(cols_l)),
+            ),
+            shape=(ng, ng),
+        )
+        d.sum_duplicates()
+        d.sort_indices()
+        return d
+
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``z = M^{-1} r`` via the compiled per-group CSR kernels.
+
+        Passing ``out`` reuses the caller's buffer for the result; all
+        internal work vectors are preallocated, so repeated applies do no
+        O(ndof) allocation beyond the (optional) output.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        if r.shape != (self.ndof,):
+            raise ValueError(f"r must have shape ({self.ndof},), got {r.shape}")
+        np.take(r, self.perm_dof, out=self._rp)
+        sels = self._group_sel
+        # seed with the whole-vector diagonal solve, then sweep in place:
+        # forward  y_g = Dinv_g r_g - (Dinv_g L_g) y   (columns: earlier groups)
+        # backward z_g = y_g - (Dinv_g L_g^T) z        (columns: later groups)
+        y = self._dinv_all @ self._rp
+        for sel, op in zip(sels, self._fwd_ops):
+            if op is not None:
+                y[sel] -= op @ y
+        for sel, op in zip(reversed(sels), reversed(self._bwd_ops)):
+            if op is not None:
+                y[sel] -= op @ y
+        if out is None:
+            out = np.empty(self.ndof)
+        out[self.perm_dof] = y
+        return out
+
+    # -- bucketed reference path (correctness oracle) -------------------
+
+    def _prepare_reference(self) -> None:
+        """Pre-gather per-group shape buckets for the bucketed reference
+        substitution (built lazily: only tests/benches and
+        :meth:`apply_m` need it)."""
+        if hasattr(self, "_fwd"):
+            return
         brow = self.L.block_rows()
         offdiag = self._offdiag_positions()
         shape_r = self.sizes[brow]
         shape_c = self.sizes[self.L.indices]
-        group_of = np.empty(self.L.N, dtype=np.int64)
-        for g, members in enumerate(self.schedule):
-            group_of[members] = g
+        group_of = self._group_of
 
         ngroups = len(self.schedule)
         self._fwd: list[list[tuple]] = [[] for _ in range(ngroups)]
@@ -493,7 +717,11 @@ class BlockICFactorization(Preconditioner):
                 dof = (self.L.offsets[rows, None] + np.arange(s)).reshape(-1)
                 self._diag_apply[g].append((self._gather_dinv(rows, s), dof, s))
 
-    def apply(self, r: np.ndarray) -> np.ndarray:
+    def reference_apply(self, r: np.ndarray) -> np.ndarray:
+        """The original bucketed substitution (gather / batched matmul /
+        scatter-add per shape bucket).  Kept as the correctness oracle for
+        the compiled fast path; ``apply`` must agree to ~1e-13."""
+        self._prepare_reference()
         r = np.asarray(r, dtype=np.float64)
         if r.shape != (self.ndof,):
             raise ValueError(f"r must have shape ({self.ndof},), got {r.shape}")
@@ -532,6 +760,7 @@ class BlockICFactorization(Preconditioner):
         problem ``A x = lambda M x``).  Input/output in original DOF
         numbering, like :meth:`apply`.
         """
+        self._prepare_reference()
         v = np.asarray(v, dtype=np.float64)
         vp = v[self.perm_dof]
         n = self.ndof

@@ -9,6 +9,7 @@ non-convergence the way the paper's tables do ("No Conv.").
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,6 +17,14 @@ import scipy.sparse as sp
 
 from repro.precond.base import IdentityPreconditioner, Preconditioner
 from repro.utils.timing import Timer
+
+
+def _supports_out(apply_fn) -> bool:
+    """Whether a preconditioner's ``apply`` accepts an ``out=`` buffer."""
+    try:
+        return "out" in inspect.signature(apply_fn).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 @dataclass
@@ -95,6 +104,7 @@ def cg_solve(
             setup_seconds=m.setup_seconds,
         )
 
+    reuse_z = _supports_out(m.apply)
     timer = Timer()
     history = []
     with timer:
@@ -122,11 +132,15 @@ def cg_solve(
             if relres <= eps:
                 converged = True
                 break
-            z = m.apply(r)
+            # z's buffer is recycled across iterations when the
+            # preconditioner supports it; p is updated in place — the
+            # loop body then allocates nothing beyond the matvec output
+            z = m.apply(r, out=z) if reuse_z else m.apply(r)
             rz_new = float(r @ z)
             beta = rz_new / rz
             rz = rz_new
-            p = z + beta * p
+            p *= beta
+            p += z
 
     return CGResult(
         x=x,

@@ -9,7 +9,7 @@ extraction for the preconditioners, and permutation by a node ordering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,6 +39,9 @@ class BCSRMatrix:
     indptr: np.ndarray
     indices: np.ndarray
     values: np.ndarray
+    _bsr_cache: sp.bsr_matrix | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- construction ---------------------------------------------------
 
@@ -118,11 +121,18 @@ class BCSRMatrix:
     # -- conversions -----------------------------------------------------
 
     def to_bsr(self) -> sp.bsr_matrix:
-        """Scipy BSR view sharing this matrix's arrays (fast matvec path)."""
-        return sp.bsr_matrix(
-            (self.values, self.indices, self.indptr),
-            shape=(self.ndof, self.ndof),
-        )
+        """Scipy BSR view sharing this matrix's arrays (fast matvec path).
+
+        The handle is cached: it shares ``values``, so in-place value
+        updates remain visible through it, and repeated matvecs stop
+        paying a scipy wrapper construction per call.
+        """
+        if self._bsr_cache is None:
+            self._bsr_cache = sp.bsr_matrix(
+                (self.values, self.indices, self.indptr),
+                shape=(self.ndof, self.ndof),
+            )
+        return self._bsr_cache
 
     def to_csr(self) -> sp.csr_matrix:
         """Scalar CSR copy (sorted, duplicate-free)."""

@@ -167,6 +167,22 @@ class TestStructure:
         for g, mem in enumerate(m.schedule):
             assert np.all(np.diff(m.sizes[np.sort(mem)]) <= 0)
 
+    def test_level_schedule_matches_naive_recurrence(self):
+        """The vectorized topological wave sweep must produce exactly the
+        waves of the per-row recurrence wave[i] = max(wave[nbrs]) + 1."""
+        a = spd_csr(36, 42, density=0.2)
+        m = BlockICFactorization(a, node_parts(36), fill_level=1)
+        indptr, indices = m.L.indptr, m.L.indices
+        wave = np.zeros(m.L.N, dtype=np.int64)
+        for i in range(m.L.N):
+            nbrs = indices[indptr[i] : indptr[i + 1] - 1]  # exclude diagonal
+            if nbrs.size:
+                wave[i] = wave[nbrs].max() + 1
+        ref = [np.flatnonzero(wave == w) for w in range(int(wave.max()) + 1)]
+        assert len(m.schedule) == len(ref)
+        for got, want in zip(m.schedule, ref):
+            assert np.array_equal(np.sort(got), want)
+
     def test_memory_grows_with_fill(self):
         a = spd_csr(30, 13)
         mems = [
