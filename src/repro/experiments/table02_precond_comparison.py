@@ -63,10 +63,12 @@ def run(scale: float = 1.0, max_iter: int = 10000) -> ReproTable:
                 "mem": mem,
             }
             p_it, p_tot, p_mem = PAPER[(name, lam)]
+            # non-converged rows carry the recorded FailureReason, so the
+            # table distinguishes breakdown from plain iteration exhaustion
             table.add_row(
                 name,
                 lam,
-                res.iterations if res.converged else "No Conv.",
+                res.iterations if res.converged else f"No Conv. [{res.reason}]",
                 round(m.setup_seconds, 3),
                 round(res.solve_seconds, 3),
                 round(res.total_seconds, 3),

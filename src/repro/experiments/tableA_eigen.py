@@ -50,7 +50,7 @@ def run(model: str = "block", scale: float = 0.5, lambdas=(1e2, 1e6, 1e10), incl
             iters[(name, lam)] = res.iterations if res.converged else None
             table.add_row(
                 name, lam,
-                res.iterations if res.converged else "No Conv.",
+                res.iterations if res.converged else f"No Conv. [{res.reason}]",
                 float(s.emin), float(s.emax), float(s.kappa),
             )
 

@@ -9,6 +9,17 @@ single linear solve, so the outer loop count *is* the NR cycle count.
 The Fig. 2 trade-off emerges directly: a large penalty converges in few
 outer cycles but each inner CG solve needs many iterations (the penalty
 dominates the spectrum); a small penalty is the reverse.
+
+Resilience: an inner solve that fails (breakdown / NaN / stagnation —
+the very regime Table 2's "No Conv." rows live in) no longer propagates
+a bogus displacement field.  The driver discards the poisoned iterate,
+*backs the penalty off* (the ALM's own robustness knob: a smaller lambda
+moves the augmented matrix away from the breakdown edge at the cost of
+more outer cycles), rebuilds the system and retries — recording the
+whole trail in a :class:`~repro.resilience.taxonomy.SolveReport`.  An
+optional preconditioner fallback ladder
+(:class:`~repro.resilience.resilient.ResilientSolver`) handles failures
+*within* a cycle before the penalty back-off has to.
 """
 
 from __future__ import annotations
@@ -22,7 +33,19 @@ import scipy.sparse as sp
 from repro.fem.contact import constraint_matrix
 from repro.fem.mesh import Mesh
 from repro.precond.base import Preconditioner
-from repro.solvers.cg import cg_solve
+from repro.resilience.taxonomy import FailureReason, SolveReport
+from repro.solvers.cg import CGResult, cg_solve
+
+# inner-solve failures that penalty back-off can plausibly cure; MAX_ITER
+# is excluded — it means "not enough iterations", not "broken system"
+_BACKOFF_REASONS = frozenset(
+    {
+        FailureReason.BREAKDOWN_INDEFINITE,
+        FailureReason.NAN_DETECTED,
+        FailureReason.STAGNATION,
+        FailureReason.SETUP_PIVOT_FAILURE,
+    }
+)
 
 
 @dataclass
@@ -34,6 +57,10 @@ class NonlinearContactResult:
     converged: bool
     constraint_norm: float
     cg_iterations: list[int] = field(default_factory=list)
+    penalty: float = 0.0
+    """The penalty actually in force at the end (after any back-offs)."""
+    penalty_backoffs: int = 0
+    report: SolveReport | None = None
 
     @property
     def total_cg_iterations(self) -> int:
@@ -52,6 +79,11 @@ def solve_nonlinear_contact(
     max_cycles: int = 50,
     cg_eps: float = 1e-8,
     cg_max_iter: int | None = None,
+    penalty_backoff: float = 0.1,
+    max_penalty_backoffs: int = 2,
+    stagnation_window: int = 0,
+    ladder_factory: Callable[[sp.csr_matrix], list] | None = None,
+    report: SolveReport | None = None,
 ) -> NonlinearContactResult:
     """Augmented-Lagrange iteration for tied contact.
 
@@ -66,38 +98,123 @@ def solve_nonlinear_contact(
         ALM penalty (the paper's lambda).
     precond_factory:
         Builds the preconditioner for the augmented matrix
-        ``A + penalty * C^T C`` once; reused across cycles.
+        ``A + penalty * C^T C`` once; reused across cycles (and rebuilt
+        after a penalty back-off).
+    penalty_backoff / max_penalty_backoffs:
+        When an inner solve fails with a breakdown-class reason, the
+        poisoned iterate is discarded, the penalty is multiplied by
+        ``penalty_backoff`` (< 1) and the system rebuilt, at most
+        ``max_penalty_backoffs`` times.  Healthy systems never trigger
+        this path, so paper runs are bit-identical.
+    ladder_factory:
+        Optional: builds a preconditioner fallback ladder
+        (list of :class:`~repro.resilience.resilient.FallbackStage`) from
+        the augmented matrix; inner solves then go through
+        :class:`~repro.resilience.resilient.ResilientSolver`, and only a
+        failure of the *whole* ladder triggers penalty back-off.
+    report:
+        Optional shared :class:`SolveReport`; all inner-solve and ALM
+        events land in it (one is created when omitted, reachable via
+        ``result.report``).
 
     Notes
     -----
     Constraint convergence is measured as
     ``||C u|| / ||u||`` (relative constraint violation).
     """
+    if report is None:
+        report = SolveReport()
     c = constraint_matrix(groups, n_nodes)
     ctc = (c.T @ c).tocsr()
-    a_aug = (a_free + penalty * ctc).tocsr()
-    a_aug.sum_duplicates()
-    a_aug.sort_indices()
-    m = precond_factory(a_aug)
+
+    def build_system(lam_penalty: float):
+        a_aug = (a_free + lam_penalty * ctc).tocsr()
+        a_aug.sum_duplicates()
+        a_aug.sort_indices()
+        return a_aug
+
+    def inner_solve(a_aug, m, rhs, x0) -> CGResult:
+        if ladder_factory is not None:
+            from repro.resilience.resilient import ResilientSolver
+
+            solver = ResilientSolver(
+                a_aug,
+                ladder_factory(a_aug),
+                eps=cg_eps,
+                max_iter=cg_max_iter,
+                stagnation_window=stagnation_window or 50,
+                report=report,
+            )
+            return solver.solve(rhs, x0=x0)
+        return cg_solve(
+            a_aug,
+            rhs,
+            m,
+            eps=cg_eps,
+            max_iter=cg_max_iter,
+            x0=x0,
+            record_history=False,
+            stagnation_window=stagnation_window,
+            report=report,
+        )
+
+    a_aug = build_system(penalty)
+    m = precond_factory(a_aug) if ladder_factory is None else None
 
     lam = np.zeros(c.shape[0])
     u = np.zeros(a_free.shape[0])
     cg_iters: list[int] = []
     converged = False
     gap_norm = np.inf
+    backoffs = 0
     cycles = 0
-    for cycles in range(1, max_cycles + 1):
+    while cycles < max_cycles:
+        cycles += 1
         rhs = b - c.T @ lam
-        res = cg_solve(
-            a_aug, rhs, m, eps=cg_eps, max_iter=cg_max_iter, x0=u, record_history=False
-        )
-        u = res.x
+        res = inner_solve(a_aug, m, rhs, u)
         cg_iters.append(res.iterations)
+        if not res.converged and res.reason in _BACKOFF_REASONS:
+            # the iterate is untrustworthy — do NOT fold it into u
+            if backoffs >= max_penalty_backoffs:
+                report.record(
+                    "detect",
+                    "alm",
+                    res.reason,
+                    iteration=cycles,
+                    detail=f"inner solve failed; back-off budget "
+                    f"({max_penalty_backoffs}) exhausted",
+                )
+                break
+            backoffs += 1
+            old_penalty = penalty
+            penalty = penalty * penalty_backoff
+            report.record(
+                "retry",
+                "alm",
+                res.reason,
+                iteration=cycles,
+                detail=f"penalty back-off {old_penalty:.3e} -> {penalty:.3e}, "
+                "rebuilding system",
+                backoff=backoffs,
+            )
+            a_aug = build_system(penalty)
+            m = precond_factory(a_aug) if ladder_factory is None else None
+            lam = lam * penalty_backoff  # keep the multiplier scale consistent
+            continue
+        u = res.x
         gap = c @ u
         unorm = max(float(np.linalg.norm(u)), 1e-30)
         gap_norm = float(np.linalg.norm(gap)) / unorm
         if gap_norm <= constraint_tol:
             converged = True
+            if backoffs:
+                report.record(
+                    "recover",
+                    "alm",
+                    iteration=cycles,
+                    detail=f"converged at penalty {penalty:.3e} after "
+                    f"{backoffs} back-off(s)",
+                )
             break
         lam = lam + penalty * gap
 
@@ -107,4 +224,7 @@ def solve_nonlinear_contact(
         converged=converged,
         constraint_norm=gap_norm,
         cg_iterations=cg_iters,
+        penalty=penalty,
+        penalty_backoffs=backoffs,
+        report=report,
     )

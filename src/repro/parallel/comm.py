@@ -74,6 +74,30 @@ class LockstepComm:
                 messages.append(src_dofs.size * 8)
         self.log.record_exchange(messages)
 
+    def halo_mismatch(self, vectors: list[np.ndarray]) -> float:
+        """Owner/ghost agreement probe: worst |ghost - owner| over all halos.
+
+        After a correct exchange every external slot equals the owning
+        domain's boundary value, so this returns 0.0; a dropped/stale
+        message, NaN payload or bit-flip shows up as a positive (or
+        ``inf``) mismatch.  In a real MPI run this is a checksum
+        piggybacked on an existing allreduce; the emulation inspects the
+        owner buffers directly, so it is not tallied in :class:`CommLog`
+        (the solver's message census stays comparable to the paper's).
+        """
+        worst = 0.0
+        for d, dom in enumerate(self.domains):
+            for owner, ext_local in dom.recv_tables.items():
+                peer = self.domains[owner]
+                src_dofs = peer.local_dofs(peer.send_tables[d])
+                dst_dofs = dom.local_dofs(ext_local)
+                diff = vectors[d][dst_dofs] - vectors[owner][src_dofs]
+                if not np.isfinite(diff).all():
+                    return float("inf")
+                if diff.size:
+                    worst = max(worst, float(np.abs(diff).max()))
+        return worst
+
     def allreduce_sum(self, contributions: list[float]) -> float:
         """Global sum (MPI_Allreduce) of one scalar per rank."""
         if len(contributions) != self.size:

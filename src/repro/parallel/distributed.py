@@ -8,10 +8,17 @@ the GeoFEM solver of paper section 2.2.  In exact arithmetic the iterates
 coincide with a sequential CG preconditioned by
 :class:`~repro.precond.localized.LocalizedPreconditioner`; the tests
 assert that correspondence.
+
+Resilience: the solver validates its right-hand side, tags every
+non-converged exit with a :class:`~repro.resilience.taxonomy.FailureReason`,
+and (by default) runs a cheap owner/ghost agreement probe after each halo
+exchange, so an injected or real communication fault surfaces as
+``COMM_FAULT`` within one iteration instead of a silently wrong answer.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,10 +28,19 @@ import scipy.sparse as sp
 from repro.parallel.comm import CommLog, LockstepComm
 from repro.parallel.partition import LocalDomain, build_domains
 from repro.precond.base import Preconditioner
-from repro.solvers.cg import CGResult, _supports_out
+from repro.resilience.taxonomy import FailureReason, SolveReport
+from repro.solvers.cg import CGResult, _stagnated, _supports_out, check_finite_vector
 from repro.utils.timing import Timer
 
 LocalPrecondFactory = Callable[[sp.csr_matrix, np.ndarray], Preconditioner]
+
+
+class _CommFaultDetected(Exception):
+    """Internal: raised by the exchange wrapper when the halo probe trips."""
+
+    def __init__(self, mismatch: float) -> None:
+        super().__init__(f"halo mismatch {mismatch}")
+        self.mismatch = mismatch
 
 
 @dataclass
@@ -91,6 +107,11 @@ def parallel_cg(
     *,
     eps: float = 1e-8,
     max_iter: int = 10000,
+    stagnation_window: int = 0,
+    stagnation_rtol: float = 0.99,
+    time_budget: float | None = None,
+    halo_check: bool = True,
+    report: SolveReport | None = None,
 ) -> CGResult:
     """Lockstep preconditioned CG on a distributed system.
 
@@ -105,6 +126,14 @@ def parallel_cg(
       allreduce count per iteration from 3 to 2.  This requires applying
       the preconditioner before the convergence check; the iterates are
       unchanged.
+
+    ``halo_check`` (default on) runs the owner/ghost agreement probe
+    (:meth:`LockstepComm.halo_mismatch`) after every boundary exchange
+    and aborts with ``reason=COMM_FAULT`` on any disagreement — the
+    detection side of the fault-injection harness
+    (:class:`~repro.resilience.faults.FaultyComm`).  ``stagnation_window``,
+    ``time_budget`` and ``report`` behave as in
+    :func:`~repro.solvers.cg.cg_solve`.
     """
     domains = system.domains
     comm = system.comm
@@ -112,6 +141,13 @@ def parallel_cg(
     b = domains[0].b
     ni = [dom.n_internal * b for dom in domains]
     reuse_z = all(_supports_out(m.apply) for m in system.preconds)
+    for d, bp in enumerate(system.b_parts):
+        check_finite_vector(bp, f"b (domain {d})")
+
+    def detect(reason: FailureReason, it: int, detail: str = "") -> FailureReason:
+        if report is not None:
+            report.record("detect", "parallel_cg", reason, iteration=it, detail=detail)
+        return reason
 
     # halo-extended work vectors (internal + external slots), allocated
     # once; exchange_external fills every external slot on each call
@@ -121,6 +157,10 @@ def parallel_cg(
         for d in range(nd):
             halo[d][: ni[d]] = p_parts[d]
         comm.exchange_external(halo)
+        if halo_check:
+            mismatch = comm.halo_mismatch(halo)
+            if mismatch > 0.0 or not np.isfinite(mismatch):
+                raise _CommFaultDetected(mismatch)
         return [dom.a_local @ h for dom, h in zip(domains, halo)]
 
     def dot(u_parts, v_parts) -> float:
@@ -145,7 +185,9 @@ def parallel_cg(
 
     x = [np.zeros_like(bp) for bp in system.b_parts]
     timer = Timer()
+    reason: FailureReason | None = None
     with timer:
+        t_start = time.perf_counter()
         r = [bp.copy() for bp in system.b_parts]  # x0 = 0
         z = precond(r)
         rr, rz = dot2(r, r, r, z)
@@ -164,9 +206,23 @@ def parallel_cg(
         it = 0
         converged = relres <= eps
         while not converged and it < max_iter:
-            q = matvec(p)
+            try:
+                q = matvec(p)
+            except _CommFaultDetected as fault:
+                reason = detect(
+                    FailureReason.COMM_FAULT,
+                    it,
+                    f"owner/ghost mismatch {fault.mismatch:.3e}",
+                )
+                break
             pq = dot(p, q)
-            if pq <= 0 or not np.isfinite(pq):
+            if not np.isfinite(pq):
+                reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
+                break
+            if pq <= 0:
+                reason = detect(
+                    FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
+                )
                 break
             alpha = rz / pq
             for d in range(nd):
@@ -178,15 +234,31 @@ def parallel_cg(
             relres = np.sqrt(rr) / bnorm
             history.append(relres)
             if not np.isfinite(relres):
+                reason = detect(FailureReason.NAN_DETECTED, it, "residual is NaN/Inf")
                 break
             if relres <= eps:
                 converged = True
+                break
+            if _stagnated(history, stagnation_window, stagnation_rtol):
+                reason = detect(
+                    FailureReason.STAGNATION,
+                    it,
+                    f"no {1 - stagnation_rtol:.0%} improvement in "
+                    f"{stagnation_window} iterations",
+                )
+                break
+            if time_budget is not None and time.perf_counter() - t_start > time_budget:
+                reason = detect(
+                    FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
+                )
                 break
             beta = rz_new / rz
             rz = rz_new
             for d in range(nd):
                 p[d] *= beta
                 p[d] += z[d]
+        if not converged and reason is None:
+            reason = detect(FailureReason.MAX_ITER, it, f"cap {max_iter}")
 
     return CGResult(
         x=system.gather_global(x),
@@ -196,4 +268,5 @@ def parallel_cg(
         solve_seconds=timer.elapsed,
         setup_seconds=sum(m.setup_seconds for m in system.preconds),
         history=np.asarray(history),
+        reason=reason,
     )

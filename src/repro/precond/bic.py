@@ -20,22 +20,27 @@ def bic(
     b: int = 3,
     ncolors: int = 0,
     variant: str = "auto",
+    shift: float = 0.0,
 ) -> BlockICFactorization:
     """Block incomplete Cholesky with ``b x b`` node blocks.
 
     ``fill_level`` 0/1/2 gives the paper's BIC(0)/BIC(1)/BIC(2).  The
     diagonal 3x3 blocks are inverted exactly (full LU of each block),
     which is what lets BIC(0) survive penalty values that break scalar
-    IC(0) (Table 2).
+    IC(0) (Table 2).  ``shift`` adds a Manteuffel-style ``alpha I`` to
+    each diagonal block before inversion (robustness retry knob used by
+    the resilience fallback chain; 0 reproduces the paper).
     """
     ndof = a.shape[0]
     if ndof % b:
         raise ValueError(f"matrix dimension {ndof} is not a multiple of block size {b}")
+    name = f"BIC({fill_level})" if shift == 0.0 else f"BIC({fill_level})+shift{shift:g}"
     return BlockICFactorization(
         a,
         node_supernodes(ndof // b, b),
         fill_level=fill_level,
         ncolors=ncolors,
         variant=variant,
-        name=f"BIC({fill_level})",
+        shift=shift,
+        name=name,
     )

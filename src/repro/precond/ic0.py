@@ -7,20 +7,26 @@ import numpy as np
 from repro.precond.icfact import BlockICFactorization
 
 
-def scalar_ic0(a, *, ncolors: int = 0, variant: str = "auto") -> BlockICFactorization:
+def scalar_ic0(
+    a, *, ncolors: int = 0, variant: str = "auto", shift: float = 0.0
+) -> BlockICFactorization:
     """Point incomplete Cholesky with no fill: every DOF is its own block.
 
     This ignores the 3x3 block structure of the elastic stiffness matrix,
     which is why the paper shows it failing on large-penalty problems
-    where BIC(0) still converges (Table 2).
+    where BIC(0) still converges (Table 2).  ``shift`` adds a
+    Manteuffel-style diagonal shift before pivot inversion (the classic
+    shifted-IC retry for exactly this failure mode).
     """
     ndof = a.shape[0]
     supernodes = [np.array([d]) for d in range(ndof)]
+    name = "IC(0) scalar" if shift == 0.0 else f"IC(0) scalar+shift{shift:g}"
     return BlockICFactorization(
         a,
         supernodes,
         fill_level=0,
         ncolors=ncolors,
         variant=variant,
-        name="IC(0) scalar",
+        shift=shift,
+        name=name,
     )

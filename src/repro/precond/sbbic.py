@@ -25,6 +25,7 @@ def sb_bic0(
     ncolors: int = 0,
     variant: str = "auto",
     sort_blocks_by_size: bool = True,
+    shift: float = 0.0,
 ) -> BlockICFactorization:
     """Selective-blocking block IC(0) preconditioner.
 
@@ -45,6 +46,7 @@ def sb_bic0(
     if n_nodes is None:
         n_nodes = ndof // b
     supernodes = selective_block_supernodes(contact_groups, n_nodes, b=b)
+    name = "SB-BIC(0)" if shift == 0.0 else f"SB-BIC(0)+shift{shift:g}"
     return BlockICFactorization(
         a,
         supernodes,
@@ -52,5 +54,6 @@ def sb_bic0(
         ncolors=ncolors,
         variant=variant,
         sort_blocks_by_size=sort_blocks_by_size,
-        name="SB-BIC(0)",
+        shift=shift,
+        name=name,
     )

@@ -1,0 +1,56 @@
+"""Solver resilience layer: failure taxonomy, fallback chain, fault injection.
+
+Three cooperating pieces (see DESIGN.md section 8):
+
+- :mod:`repro.resilience.taxonomy` — :class:`FailureReason` /
+  :class:`SolveReport`, the shared vocabulary for *why* a solve failed
+  and what was done about it;
+- :mod:`repro.resilience.resilient` — :class:`ResilientSolver`, a
+  preconditioner fallback chain (SB-BIC(0) -> BIC(0) -> Manteuffel-shifted
+  BIC(0) -> diagonal scaling) that resumes from the best iterate instead
+  of restarting;
+- :mod:`repro.resilience.faults` — :class:`FaultyComm`, a seeded
+  fault-injecting wrapper over the lockstep communicator for testing the
+  distributed solver's ``COMM_FAULT`` detection.
+
+``taxonomy`` is imported eagerly (it is dependency-free and the solver /
+preconditioner layers pull names from it); the other two are loaded
+lazily via module ``__getattr__`` because they import the solver stack,
+which itself imports ``taxonomy`` — eager imports here would cycle.
+"""
+
+from repro.resilience.taxonomy import (
+    FailureReason,
+    PivotNudgeWarning,
+    SolveEvent,
+    SolveReport,
+)
+
+__all__ = [
+    "FailureReason",
+    "PivotNudgeWarning",
+    "SolveEvent",
+    "SolveReport",
+    "ResilientSolver",
+    "FallbackStage",
+    "default_ladder",
+    "FaultyComm",
+    "FaultSpec",
+]
+
+_LAZY = {
+    "ResilientSolver": "repro.resilience.resilient",
+    "FallbackStage": "repro.resilience.resilient",
+    "default_ladder": "repro.resilience.resilient",
+    "FaultyComm": "repro.resilience.faults",
+    "FaultSpec": "repro.resilience.faults",
+}
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

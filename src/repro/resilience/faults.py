@@ -1,0 +1,167 @@
+"""Seeded communication fault injection for the lockstep communicator.
+
+:class:`FaultyComm` wraps :class:`~repro.parallel.comm.LockstepComm` and
+corrupts halo exchanges on a deterministic (seeded) schedule:
+
+- ``"drop"`` — one neighbor message is lost; the victim keeps its *stale*
+  ghost values from the previous exchange (zeros on the first);
+- ``"nan"`` — a received payload arrives as NaN (the classic poisoned
+  buffer);
+- ``"bitflip"`` — a single bit of one received float64 is flipped (soft
+  error / corrupted network frame).
+
+Every injected fault is recorded in :attr:`FaultyComm.injected`, so tests
+can assert that the solver's owner/ghost agreement probe
+(:meth:`LockstepComm.halo_mismatch`, wired into
+:func:`~repro.parallel.distributed.parallel_cg`) detects 100% of them and
+reports ``COMM_FAULT`` instead of returning a silently wrong answer.
+This is the correctness harness that makes future communication-layer
+optimizations safely testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.comm import LockstepComm
+from repro.parallel.partition import LocalDomain
+
+__all__ = ["FaultSpec", "FaultyComm"]
+
+_KINDS = ("drop", "nan", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``exchange`` is the 0-based index of the ``exchange_external`` call to
+    corrupt; ``domain``/``owner`` pin the victim edge (receiver / sender),
+    or are drawn from the seeded RNG when ``None``."""
+
+    exchange: int
+    kind: str = "nan"
+    domain: int | None = None
+    owner: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use one of {_KINDS}")
+
+
+class FaultyComm(LockstepComm):
+    """Lockstep communicator with seeded halo-exchange fault injection.
+
+    Parameters
+    ----------
+    domains:
+        As for :class:`LockstepComm`.
+    faults:
+        Explicit :class:`FaultSpec` schedule.
+    seed:
+        RNG seed for victim/slot selection and the probabilistic mode.
+    rate:
+        When > 0, additionally inject one random fault per exchange with
+        this probability (kinds drawn from *kinds*).
+    """
+
+    def __init__(
+        self,
+        domains: list[LocalDomain],
+        faults: list[FaultSpec] | tuple[FaultSpec, ...] = (),
+        *,
+        seed: int = 0,
+        rate: float = 0.0,
+        kinds: tuple[str, ...] = _KINDS,
+    ) -> None:
+        super().__init__(domains)
+        for k in kinds:
+            if k not in _KINDS:
+                raise ValueError(f"unknown fault kind {k!r}; use one of {_KINDS}")
+        self._schedule: dict[int, list[FaultSpec]] = {}
+        for f in faults:
+            self._schedule.setdefault(f.exchange, []).append(f)
+        self._rng = np.random.default_rng(seed)
+        self._rate = float(rate)
+        self._kinds = tuple(kinds)
+        self.exchange_count = 0
+        self.injected: list[dict] = []
+
+    # ------------------------------------------------------------------
+
+    def _pick_edge(self, spec: FaultSpec) -> tuple[int, int] | None:
+        """Resolve (victim domain, sending owner) for a spec."""
+        candidates = [
+            (d, o)
+            for d, dom in enumerate(self.domains)
+            for o in dom.recv_tables
+            if (spec.domain is None or d == spec.domain)
+            and (spec.owner is None or o == spec.owner)
+        ]
+        if not candidates:
+            return None
+        return candidates[self._rng.integers(len(candidates))]
+
+    def _dst_dofs(self, d: int, owner: int) -> np.ndarray:
+        dom = self.domains[d]
+        return dom.local_dofs(dom.recv_tables[owner])
+
+    def exchange_external(self, vectors: list[np.ndarray]) -> None:
+        idx = self.exchange_count
+        self.exchange_count += 1
+        specs = list(self._schedule.get(idx, ()))
+        if self._rate > 0.0 and self._rng.random() < self._rate:
+            specs.append(
+                FaultSpec(idx, kind=self._kinds[self._rng.integers(len(self._kinds))])
+            )
+
+        # resolve victims and stash stale ghosts before the real exchange
+        resolved: list[tuple[FaultSpec, int, int, np.ndarray | None]] = []
+        for spec in specs:
+            edge = self._pick_edge(spec)
+            if edge is None:
+                continue
+            d, owner = edge
+            stale = None
+            if spec.kind == "drop":
+                stale = vectors[d][self._dst_dofs(d, owner)].copy()
+            resolved.append((spec, d, owner, stale))
+
+        super().exchange_external(vectors)
+
+        for spec, d, owner, stale in resolved:
+            dst = self._dst_dofs(d, owner)
+            if spec.kind == "drop":
+                if np.array_equal(vectors[d][dst], stale):
+                    # the lost message would have carried exactly the stale
+                    # ghost values (e.g. the CG wavefront has not reached
+                    # this boundary yet) — dropping it corrupts nothing and
+                    # is undetectable in principle.  Defer the fault to the
+                    # next exchange so every *recorded* injection is a real
+                    # state corruption.
+                    self._schedule.setdefault(idx + 1, []).append(
+                        FaultSpec(idx + 1, kind="drop", domain=d, owner=owner)
+                    )
+                    continue
+                vectors[d][dst] = stale
+            elif spec.kind == "nan":
+                slot = int(self._rng.integers(dst.size))
+                vectors[d][dst[slot]] = np.nan
+            else:  # bitflip
+                slot = int(self._rng.integers(dst.size))
+                bit = int(self._rng.integers(62))  # spare the sign bit:
+                # 0.0 -> -0.0 compares equal and would be undetectable
+                raw = np.array([vectors[d][dst[slot]]])
+                raw.view(np.int64)[0] ^= np.int64(1) << bit
+                vectors[d][dst[slot]] = raw[0]
+            self.injected.append(
+                {
+                    "exchange": idx,
+                    "kind": spec.kind,
+                    "domain": d,
+                    "owner": owner,
+                    "ndofs": int(dst.size),
+                }
+            )

@@ -1,0 +1,287 @@
+"""Preconditioner fallback chain: escalate instead of failing.
+
+The paper's Table 2 shows the robustness ladder empirically: scalar
+IC(0) collapses at large penalty, BIC(0) survives longer, SB-BIC(0)
+survives to ``lambda = 1e10`` (Appendix A).  :class:`ResilientSolver`
+turns that observation into a recovery mechanism: when a preconditioner
+fails to *set up* (singular pivots) or the CG it drives *breaks down*
+(indefinite ``p^T A p``, NaN, stagnation), the solver drops one rung —
+
+    SB-BIC(0) -> BIC(0) -> BIC(0) + Manteuffel ``alpha I`` shift(s)
+    -> diagonal scaling
+
+— resuming from the best iterate reached so far rather than restarting
+from zero, and logging every detection / escalation / recovery in a
+:class:`~repro.resilience.taxonomy.SolveReport`.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.precond.base import Preconditioner
+from repro.precond.bic import bic
+from repro.precond.diagonal import DiagonalScaling
+from repro.precond.ic0 import scalar_ic0
+from repro.precond.sbbic import sb_bic0
+from repro.resilience.taxonomy import FailureReason, PivotNudgeWarning, SolveReport
+from repro.solvers.cg import CGResult, cg_solve, check_finite_vector
+
+__all__ = ["FallbackStage", "ResilientSolver", "default_ladder"]
+
+
+@dataclass
+class FallbackStage:
+    """One rung of the escalation ladder: a named preconditioner recipe."""
+
+    name: str
+    build: Callable[[], Preconditioner]
+    """Zero-argument factory; may raise (e.g. ``LinAlgError`` on a
+    singular factorization) — a raising stage is skipped, not fatal."""
+
+
+def default_ladder(
+    a,
+    contact_groups: list[np.ndarray] | None = None,
+    *,
+    b: int = 3,
+    shifts: tuple[float, ...] = (0.01, 0.1),
+) -> list[FallbackStage]:
+    """The standard escalation ladder for a (possibly contact) system.
+
+    SB-BIC(0) first when contact groups exist (the paper's most robust
+    option), then BIC(0), then shifted retries with Manteuffel-style
+    ``alpha * dbar * I`` added to the pivots (``dbar`` = mean |diagonal|),
+    and diagonal scaling as the rung that cannot break.  Matrices whose
+    dimension is not a multiple of *b* use scalar IC(0) rungs instead of
+    BIC(0).
+    """
+    a = sp.csr_matrix(a)
+    ndof = a.shape[0]
+    dbar = float(np.abs(a.diagonal()).mean()) or 1.0
+    stages: list[FallbackStage] = []
+    if contact_groups:
+        groups = list(contact_groups)
+        stages.append(
+            FallbackStage("SB-BIC(0)", lambda: sb_bic0(a, groups, b=b))
+        )
+    blocked = ndof % b == 0
+    if blocked:
+        stages.append(FallbackStage("BIC(0)", lambda: bic(a, fill_level=0, b=b)))
+    else:
+        stages.append(FallbackStage("IC(0) scalar", lambda: scalar_ic0(a)))
+    for alpha in shifts:
+        shift = alpha * dbar
+        if blocked:
+            stages.append(
+                FallbackStage(
+                    f"BIC(0)+shift{alpha:g}",
+                    lambda shift=shift: bic(a, fill_level=0, b=b, shift=shift),
+                )
+            )
+        else:
+            stages.append(
+                FallbackStage(
+                    f"IC(0)+shift{alpha:g}",
+                    lambda shift=shift: scalar_ic0(a, shift=shift),
+                )
+            )
+    stages.append(FallbackStage("Diagonal", lambda: DiagonalScaling(a)))
+    return stages
+
+
+_ESCALATABLE = frozenset(
+    {
+        FailureReason.BREAKDOWN_INDEFINITE,
+        FailureReason.NAN_DETECTED,
+        FailureReason.STAGNATION,
+        FailureReason.MAX_ITER,
+    }
+)
+
+
+class ResilientSolver:
+    """CG with a preconditioner escalation ladder.
+
+    Parameters
+    ----------
+    a:
+        The SPD system matrix (any form :func:`cg_solve` accepts).
+    ladder:
+        Ordered :class:`FallbackStage` list, most powerful first (see
+        :func:`default_ladder`).
+    escalate_on_pivot_nudge:
+        When True (default), a stage whose factorization had to nudge
+        singular pivots is treated as ``SETUP_PIVOT_FAILURE`` and skipped
+        (unless it is the last rung) — a nudged selective block means the
+        "exact" in-block LU is fiction and the solve would limp or break.
+    stagnation_window / stagnation_rtol / time_budget:
+        Forwarded to each :func:`cg_solve` attempt; the time budget is
+        shared across the whole chain (remaining time shrinks per stage).
+
+    The full detection / escalation / recovery trail is appended to
+    :attr:`report` (a :class:`SolveReport`), which is also attached to
+    the returned :class:`CGResult` as ``result.report``.
+    """
+
+    def __init__(
+        self,
+        a,
+        ladder: list[FallbackStage],
+        *,
+        eps: float = 1e-8,
+        max_iter: int | None = None,
+        stagnation_window: int = 50,
+        stagnation_rtol: float = 0.99,
+        time_budget: float | None = None,
+        escalate_on_pivot_nudge: bool = True,
+        report: SolveReport | None = None,
+    ) -> None:
+        if not ladder:
+            raise ValueError("fallback ladder must have at least one stage")
+        self.a = a
+        self.ladder = list(ladder)
+        self.eps = eps
+        self.max_iter = max_iter
+        self.stagnation_window = stagnation_window
+        self.stagnation_rtol = stagnation_rtol
+        self.time_budget = time_budget
+        self.escalate_on_pivot_nudge = escalate_on_pivot_nudge
+        self.report = report if report is not None else SolveReport()
+
+    # ------------------------------------------------------------------
+
+    def _build_stage(self, stage: FallbackStage, is_last: bool):
+        """Build a stage's preconditioner; None means escalate past it."""
+        try:
+            with warnings.catch_warnings():
+                # nudges are escalated (or knowingly accepted) here, so the
+                # factorization's own warning would be noise
+                warnings.simplefilter("ignore", PivotNudgeWarning)
+                m = stage.build()
+        except (np.linalg.LinAlgError, ValueError, FloatingPointError) as exc:
+            self.report.record(
+                "detect",
+                stage.name,
+                FailureReason.SETUP_PIVOT_FAILURE,
+                detail=f"setup raised {type(exc).__name__}: {exc}",
+            )
+            return None
+        nudges = int(getattr(m, "breakdown_count", 0))
+        if nudges and self.escalate_on_pivot_nudge and not is_last:
+            sizes = getattr(m, "nudged_block_sizes", [])
+            self.report.record(
+                "detect",
+                stage.name,
+                FailureReason.SETUP_PIVOT_FAILURE,
+                detail=f"{nudges} pivot(s) nudged (block sizes {sorted(set(sizes))})",
+                pivot_nudges=nudges,
+            )
+            return None
+        return m
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> CGResult:
+        """Solve ``A x = b``, escalating down the ladder on failure.
+
+        Each failed stage's best iterate seeds the next stage (warm
+        restart), so progress made before a breakdown is kept."""
+        b = check_finite_vector(b, "b")
+        t_start = time.perf_counter()
+        best_x = None if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+        best_relres = np.inf
+        last: CGResult | None = None
+        failed_before = False
+
+        for i, stage in enumerate(self.ladder):
+            is_last = i == len(self.ladder) - 1
+            remaining = None
+            if self.time_budget is not None:
+                remaining = self.time_budget - (time.perf_counter() - t_start)
+                if remaining <= 0:
+                    self.report.record(
+                        "detect",
+                        stage.name,
+                        FailureReason.TIME_BUDGET,
+                        detail="budget exhausted before stage start",
+                    )
+                    break
+            m = self._build_stage(stage, is_last)
+            if m is None:
+                if not is_last:
+                    nxt = self.ladder[i + 1].name
+                    self.report.record(
+                        "escalate", stage.name, detail=f"setup failed -> {nxt}"
+                    )
+                failed_before = True
+                continue
+
+            self.report.record(
+                "info",
+                stage.name,
+                detail="attempting solve"
+                + (" (warm restart from best iterate)" if best_x is not None else ""),
+            )
+            res = cg_solve(
+                self.a,
+                b,
+                m,
+                eps=self.eps,
+                max_iter=self.max_iter,
+                x0=best_x,
+                stagnation_window=self.stagnation_window,
+                stagnation_rtol=self.stagnation_rtol,
+                time_budget=remaining,
+                report=self.report,
+            )
+            last = res
+            if res.converged:
+                if failed_before:
+                    self.report.record(
+                        "recover",
+                        stage.name,
+                        iteration=res.iterations,
+                        detail=f"converged to {res.relative_residual:.3e} "
+                        "after fallback",
+                    )
+                res.report = self.report
+                return res
+
+            # keep the best finite iterate for the next rung's warm start
+            if np.isfinite(res.x).all() and np.isfinite(res.relative_residual):
+                if res.relative_residual < best_relres:
+                    best_relres = res.relative_residual
+                    best_x = res.x
+            failed_before = True
+            if res.reason is FailureReason.TIME_BUDGET:
+                break
+            if res.reason in _ESCALATABLE and not is_last:
+                self.report.record(
+                    "escalate",
+                    stage.name,
+                    res.reason,
+                    iteration=res.iterations,
+                    detail=f"-> {self.ladder[i + 1].name}",
+                )
+
+        if last is None:
+            # no stage produced a solve (all setups failed, or the budget
+            # ran out first); return the best we have, tagged with the
+            # most recent detection
+            detections = self.report.detections()
+            reason = detections[-1].reason if detections else None
+            last = CGResult(
+                x=best_x if best_x is not None else np.zeros(b.size),
+                iterations=0,
+                converged=False,
+                relative_residual=best_relres,
+                solve_seconds=time.perf_counter() - t_start,
+                reason=reason if reason is not None else FailureReason.SETUP_PIVOT_FAILURE,
+            )
+        last.report = self.report
+        return last

@@ -1,0 +1,148 @@
+"""Failure taxonomy and structured solve-event reporting.
+
+The paper's Table 2 reports "No Conv." outcomes without distinguishing a
+breakdown (indefinite ``p^T A p``), a NaN blow-up, or plain iteration
+exhaustion — and large-penalty contact systems (lambda up to ``1e6 E``)
+produce all three.  This module gives every failure a name
+(:class:`FailureReason`) and every solve a structured event trail
+(:class:`SolveReport`) recording each detection, retry and recovery
+action, so a non-converged solve is diagnosable instead of a bare
+``converged=False``.
+
+Kept dependency-free (stdlib + nothing) so the solver, preconditioner and
+communication layers can all import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class FailureReason(Enum):
+    """Why a solve (or a solve stage) did not produce a converged answer."""
+
+    BREAKDOWN_INDEFINITE = "breakdown_indefinite"
+    """``p^T A p <= 0``: the operator or preconditioner lost positive
+    definiteness (the classic large-penalty IC(0) collapse of Table 2)."""
+
+    NAN_DETECTED = "nan_detected"
+    """A non-finite value appeared in the iteration (overflow / poison)."""
+
+    STAGNATION = "stagnation"
+    """The relative residual stopped improving over a sliding window."""
+
+    MAX_ITER = "max_iter"
+    """Iteration cap reached without meeting the tolerance."""
+
+    SETUP_PIVOT_FAILURE = "setup_pivot_failure"
+    """Preconditioner factorization hit singular / nudged pivots."""
+
+    COMM_FAULT = "comm_fault"
+    """A halo exchange delivered inconsistent ghost values (owner/ghost
+    disagreement, NaN payload, or corrupted bits)."""
+
+    TIME_BUDGET = "time_budget"
+    """Wall-clock budget for the solve was exhausted."""
+
+    def __str__(self) -> str:  # "BREAKDOWN_INDEFINITE", table-friendly
+        return self.name
+
+
+class PivotNudgeWarning(RuntimeWarning):
+    """A factorization pivot was singular and had to be regularized.
+
+    SETUP_PIVOT_FAILURE-grade: the factorization survives, but the
+    resulting preconditioner may be of poor quality — callers that care
+    (e.g. the fallback chain) should escalate rather than trust it."""
+
+
+@dataclass
+class SolveEvent:
+    """One entry in a :class:`SolveReport` trail."""
+
+    kind: str
+    """``"detect"`` (a failure was observed), ``"retry"`` (the same stage
+    is re-attempted), ``"escalate"`` (falling to the next ladder stage),
+    ``"recover"`` (a retry/escalation succeeded) or ``"info"``."""
+
+    stage: str
+    """Where it happened — a preconditioner name, ``"cg"``,
+    ``"parallel_cg"``, ``"alm"``, ..."""
+
+    reason: FailureReason | None = None
+    iteration: int | None = None
+    detail: str = ""
+    data: dict = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.perf_counter)
+
+    def __str__(self) -> str:
+        bits = [self.kind, self.stage]
+        if self.reason is not None:
+            bits.append(str(self.reason))
+        if self.iteration is not None:
+            bits.append(f"it={self.iteration}")
+        if self.detail:
+            bits.append(self.detail)
+        return " | ".join(bits)
+
+
+@dataclass
+class SolveReport:
+    """Structured event log of one (possibly multi-stage) solve.
+
+    Append-only; shared by the linear solver, the preconditioner fallback
+    chain and the nonlinear driver, so the full retry trail of a
+    recovered solve reads in one place."""
+
+    events: list[SolveEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        stage: str,
+        reason: FailureReason | None = None,
+        *,
+        iteration: int | None = None,
+        detail: str = "",
+        **data,
+    ) -> SolveEvent:
+        ev = SolveEvent(
+            kind=kind,
+            stage=stage,
+            reason=reason,
+            iteration=iteration,
+            detail=detail,
+            data=data,
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- filtered views -------------------------------------------------
+
+    def detections(self) -> list[SolveEvent]:
+        return [e for e in self.events if e.kind == "detect"]
+
+    def retries(self) -> list[SolveEvent]:
+        return [e for e in self.events if e.kind in ("retry", "escalate")]
+
+    def recoveries(self) -> list[SolveEvent]:
+        return [e for e in self.events if e.kind == "recover"]
+
+    def counts_by_reason(self) -> dict[FailureReason, int]:
+        out: dict[FailureReason, int] = {}
+        for e in self.detections():
+            if e.reason is not None:
+                out[e.reason] = out.get(e.reason, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        if not self.events:
+            return "SolveReport(empty)"
+        lines = [f"SolveReport({len(self.events)} events)"]
+        lines += [f"  {i:3d}. {e}" for i, e in enumerate(self.events)]
+        return "\n".join(lines)

@@ -4,18 +4,23 @@ GeoFEM's solver (paper section 2.2): CG on symmetric positive definite
 systems, convergence criterion ``||r||_2 / ||b||_2 <= eps`` with
 ``eps = 1e-8`` throughout the paper.  The implementation records the
 residual history and per-phase timings that the benches report, and flags
-non-convergence the way the paper's tables do ("No Conv.").
+non-convergence the way the paper's tables do ("No Conv.") — but, unlike
+the paper's tables, it also records *why* via
+:class:`~repro.resilience.taxonomy.FailureReason` (breakdown vs NaN vs
+stagnation vs iteration cap), so failure rows are diagnosable.
 """
 
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.precond.base import IdentityPreconditioner, Preconditioner
+from repro.resilience.taxonomy import FailureReason, SolveReport
 from repro.utils.timing import Timer
 
 
@@ -27,12 +32,39 @@ def _supports_out(apply_fn) -> bool:
         return False
 
 
+def check_finite_vector(v: np.ndarray, name: str) -> np.ndarray:
+    """Fail fast on NaN/Inf input instead of iterating on poison."""
+    v = np.asarray(v, dtype=np.float64)
+    bad = ~np.isfinite(v)
+    if bad.any():
+        idx = np.flatnonzero(bad)
+        raise ValueError(
+            f"{name} contains {idx.size} non-finite entries "
+            f"(first at index {idx[0]}: {v[idx[0]]}); refusing to iterate on "
+            f"garbage input — clean the right-hand side / initial guess first"
+        )
+    return v
+
+
+def _stagnated(history: list[float], window: int, rtol: float) -> bool:
+    """True when the best residual of the last *window* iterations failed
+    to improve on the best before it by at least a factor ``rtol``."""
+    if window <= 0 or len(history) <= window:
+        return False
+    recent = min(history[-window:])
+    before = min(history[:-window])
+    return recent > rtol * before
+
+
 @dataclass
 class CGResult:
     """Outcome of a CG solve.
 
     ``iterations`` counts matrix-vector products after the initial
     residual, matching how the paper's tables count iterations.
+    ``reason`` says *why* a non-converged solve stopped (``None`` when
+    ``converged``), so "No Conv." table rows can distinguish breakdown
+    from iteration exhaustion.
     """
 
     x: np.ndarray
@@ -42,6 +74,7 @@ class CGResult:
     solve_seconds: float
     setup_seconds: float = 0.0
     history: np.ndarray = field(default_factory=lambda: np.empty(0))
+    reason: FailureReason | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -49,7 +82,12 @@ class CGResult:
         return self.setup_seconds + self.solve_seconds
 
     def __repr__(self) -> str:  # compact, bench-friendly
-        status = "converged" if self.converged else "NO CONV."
+        if self.converged:
+            status = "converged"
+        elif self.reason is not None:
+            status = f"NO CONV. [{self.reason}]"
+        else:
+            status = "NO CONV."
         return (
             f"CGResult({status} in {self.iterations} iters, "
             f"rel.res={self.relative_residual:.3e}, "
@@ -66,6 +104,10 @@ def cg_solve(
     max_iter: int | None = None,
     x0: np.ndarray | None = None,
     record_history: bool = True,
+    stagnation_window: int = 0,
+    stagnation_rtol: float = 0.99,
+    time_budget: float | None = None,
+    report: SolveReport | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` by preconditioned CG.
 
@@ -75,7 +117,7 @@ def cg_solve(
         SPD matrix: scipy sparse, :class:`~repro.sparse.bcsr.BCSRMatrix`,
         or any object with a ``matvec``/``@`` on flat vectors.
     b:
-        Right-hand side.
+        Right-hand side.  Must be finite (NaN/Inf raises ``ValueError``).
     preconditioner:
         Action ``z = M^{-1} r``; identity when omitted.
     eps:
@@ -84,15 +126,29 @@ def cg_solve(
         Iteration cap; default ``10 * ndof`` but at least 1000, so the
         paper's "> 1000 iterations = No Conv." experiments are expressible
         by passing ``max_iter=1000``.
+    stagnation_window:
+        When > 0, stop with ``reason=STAGNATION`` if the best relative
+        residual of the last *window* iterations did not improve on the
+        best before them by at least a factor ``stagnation_rtol``.
+        0 (default) disables the check, reproducing the paper's runs.
+    time_budget:
+        Optional wall-clock cap in seconds; the loop stops with
+        ``reason=TIME_BUDGET`` once exceeded (checked per iteration).
+    report:
+        Optional :class:`~repro.resilience.taxonomy.SolveReport`; every
+        failure detection is appended to it.
     """
     matvec = _as_matvec(a)
-    b = np.asarray(b, dtype=np.float64)
+    b = check_finite_vector(b, "b")
     n = b.size
     m = preconditioner if preconditioner is not None else IdentityPreconditioner()
     if max_iter is None:
         max_iter = max(1000, 10 * n)
 
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x0 is None:
+        x = np.zeros(n)
+    else:
+        x = check_finite_vector(x0, "x0").copy()
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
         return CGResult(
@@ -104,10 +160,17 @@ def cg_solve(
             setup_seconds=m.setup_seconds,
         )
 
+    def detect(reason: FailureReason, it: int, detail: str = "") -> FailureReason:
+        if report is not None:
+            report.record("detect", "cg", reason, iteration=it, detail=detail)
+        return reason
+
     reuse_z = _supports_out(m.apply)
     timer = Timer()
     history = []
+    reason: FailureReason | None = None
     with timer:
+        t_start = time.perf_counter()
         r = b - matvec(x)
         z = m.apply(r)
         p = z.copy()
@@ -119,8 +182,15 @@ def cg_solve(
         while not converged and it < max_iter:
             q = matvec(p)
             pq = float(p @ q)
-            if pq <= 0 or not np.isfinite(pq):
-                break  # matrix or preconditioner lost positive definiteness
+            if not np.isfinite(pq):
+                reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
+                break
+            if pq <= 0:
+                # matrix or preconditioner lost positive definiteness
+                reason = detect(
+                    FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
+                )
+                break
             alpha = rz / pq
             x += alpha * p
             r -= alpha * q
@@ -128,9 +198,23 @@ def cg_solve(
             relres = float(np.linalg.norm(r)) / bnorm
             history.append(relres)
             if not np.isfinite(relres):
+                reason = detect(FailureReason.NAN_DETECTED, it, "residual is NaN/Inf")
                 break
             if relres <= eps:
                 converged = True
+                break
+            if _stagnated(history, stagnation_window, stagnation_rtol):
+                reason = detect(
+                    FailureReason.STAGNATION,
+                    it,
+                    f"no {1 - stagnation_rtol:.0%} improvement in "
+                    f"{stagnation_window} iterations",
+                )
+                break
+            if time_budget is not None and time.perf_counter() - t_start > time_budget:
+                reason = detect(
+                    FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
+                )
                 break
             # z's buffer is recycled across iterations when the
             # preconditioner supports it; p is updated in place — the
@@ -141,6 +225,8 @@ def cg_solve(
             rz = rz_new
             p *= beta
             p += z
+        if not converged and reason is None:
+            reason = detect(FailureReason.MAX_ITER, it, f"cap {max_iter}")
 
     return CGResult(
         x=x,
@@ -150,6 +236,7 @@ def cg_solve(
         solve_seconds=timer.elapsed,
         setup_seconds=m.setup_seconds,
         history=np.asarray(history) if record_history else np.empty(0),
+        reason=reason,
     )
 
 

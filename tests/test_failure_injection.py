@@ -17,19 +17,26 @@ from repro.sparse.vbr import VBRMatrix
 
 class TestSolverBreakdowns:
     def test_cg_on_indefinite_matrix_stops_cleanly(self):
+        from repro.resilience import FailureReason
+
         a = sp.diags([1.0, -1.0, 2.0]).tocsr()
         res = cg_solve(a, np.ones(3), max_iter=50)
         assert not res.converged
+        assert res.reason is FailureReason.BREAKDOWN_INDEFINITE
         assert np.isfinite(res.relative_residual) or res.iterations <= 50
 
-    def test_cg_with_nan_rhs(self):
+    def test_cg_with_nan_rhs_fails_fast(self):
+        """Poisoned input is rejected at entry, not iterated on."""
         a = sp.eye(3).tocsr()
-        res = cg_solve(a, np.array([np.nan, 1.0, 1.0]), max_iter=10)
-        assert not res.converged
+        with pytest.raises(ValueError, match="non-finite"):
+            cg_solve(a, np.array([np.nan, 1.0, 1.0]), max_iter=10)
 
     def test_singular_pivot_is_nudged_not_crashed(self):
         """A structurally singular (isolated, zero-diagonal) block must
-        not raise; the engine records the breakdown and regularizes."""
+        not raise; the engine records the breakdown, warns, and
+        regularizes."""
+        from repro.resilience import PivotNudgeWarning
+
         a = sp.csr_matrix(
             np.array(
                 [
@@ -39,8 +46,10 @@ class TestSolverBreakdowns:
                 ]
             )
         )
-        m = BlockICFactorization(a, [np.array([0]), np.array([1, 2])], fill_level=0)
+        with pytest.warns(PivotNudgeWarning):
+            m = BlockICFactorization(a, [np.array([0]), np.array([1, 2])], fill_level=0)
         assert m.breakdown_count >= 1
+        assert m.factorization_stats()["pivot_nudges"] >= 1
         z = m.apply(np.ones(3))
         assert np.isfinite(z).all()
 

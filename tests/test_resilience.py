@@ -1,0 +1,424 @@
+"""Resilience layer: failure taxonomy, fallback chain, fault injection."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.bc import all_dofs, apply_dirichlet, component_dofs, surface_load
+from repro.fem.generators import simple_block_model
+from repro.fem.nonlinear import solve_nonlinear_contact
+from repro.parallel import DistributedSystem, parallel_cg, partition_nodes_rcb
+from repro.precond import DiagonalScaling, bic, sb_bic0
+from repro.precond.base import Preconditioner
+from repro.resilience import (
+    FailureReason,
+    FallbackStage,
+    FaultSpec,
+    FaultyComm,
+    ResilientSolver,
+    SolveReport,
+    default_ladder,
+)
+from repro.solvers.cg import cg_solve
+
+from .conftest import random_spd_csr
+
+
+# ----------------------------------------------------------------------
+# failure taxonomy on cg_solve
+# ----------------------------------------------------------------------
+
+
+class TestFailureTaxonomy:
+    def test_converged_solve_has_no_reason(self, block_problem_small):
+        p = block_problem_small
+        res = cg_solve(p.a, p.b, bic(p.a, fill_level=0))
+        assert res.converged
+        assert res.reason is None
+
+    def test_breakdown_reason_and_repr(self):
+        a = sp.diags([1.0, -1.0, 2.0]).tocsr()
+        report = SolveReport()
+        res = cg_solve(a, np.ones(3), max_iter=50, report=report)
+        assert res.reason is FailureReason.BREAKDOWN_INDEFINITE
+        assert "BREAKDOWN_INDEFINITE" in repr(res)
+        assert report.counts_by_reason() == {FailureReason.BREAKDOWN_INDEFINITE: 1}
+
+    def test_max_iter_reason(self, block_problem_small):
+        p = block_problem_small
+        report = SolveReport()
+        res = cg_solve(p.a, p.b, max_iter=2, report=report)
+        assert not res.converged
+        assert res.reason is FailureReason.MAX_ITER
+        assert report.detections()[0].reason is FailureReason.MAX_ITER
+
+    def test_stagnation_detected(self):
+        """On an extremely ill-conditioned diagonal, demanding a 50%
+        residual drop every 5 iterations must trip STAGNATION."""
+        d = np.logspace(0, 13, 200)
+        a = sp.diags(d).tocsr()
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=200)
+        res = cg_solve(
+            a, b, eps=1e-15, max_iter=5000, stagnation_window=5, stagnation_rtol=0.5
+        )
+        assert not res.converged
+        assert res.reason is FailureReason.STAGNATION
+        assert res.iterations < 5000
+
+    def test_time_budget_exhaustion(self, block_problem_small):
+        p = block_problem_small
+        res = cg_solve(p.a, p.b, eps=1e-30, time_budget=0.0)
+        assert not res.converged
+        assert res.reason is FailureReason.TIME_BUDGET
+
+
+class TestFailFastValidation:
+    def test_nan_rhs_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            cg_solve(sp.eye(3).tocsr(), np.array([np.nan, 1.0, 1.0]))
+
+    def test_inf_x0_rejected(self):
+        with pytest.raises(ValueError, match="x0"):
+            cg_solve(sp.eye(3).tocsr(), np.ones(3), x0=np.array([0.0, np.inf, 0.0]))
+
+    def test_parallel_cg_rejects_nan_rhs(self, block_problem_small):
+        p = block_problem_small
+        part = partition_nodes_rcb(p.mesh.coords, 3)
+        b_bad = p.b.copy()
+        b_bad[0] = np.nan
+        system = DistributedSystem.from_global(
+            p.a, b_bad, part, lambda sub, nodes: bic(sub, fill_level=0)
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            parallel_cg(system)
+
+
+# ----------------------------------------------------------------------
+# fallback chain
+# ----------------------------------------------------------------------
+
+
+class _PoisonAfter(Preconditioner):
+    """Behaves like an inner preconditioner for *healthy_applies* calls,
+    then returns NaN — a mid-solve breakdown on demand."""
+
+    name = "poison"
+
+    def __init__(self, inner: Preconditioner, healthy_applies: int) -> None:
+        self.inner = inner
+        self.left = healthy_applies
+
+    def apply(self, r, out=None):
+        if self.left <= 0:
+            return np.full_like(np.asarray(r, dtype=float), np.nan)
+        self.left -= 1
+        return self.inner.apply(r)
+
+
+class TestResilientSolver:
+    def test_healthy_chain_identical_to_direct_solve(self):
+        """Property: on a healthy system the chain never escalates and the
+        iterates are identical to the direct solve."""
+        for seed in (0, 1, 2):
+            rng = np.random.default_rng(seed)
+            a = random_spd_csr(30, 0.2, rng)
+            b = rng.normal(size=30)
+            ladder = [
+                FallbackStage("BIC(0)", lambda a=a: bic(a, fill_level=0)),
+                FallbackStage("Diagonal", lambda a=a: DiagonalScaling(a)),
+            ]
+            res = ResilientSolver(a, ladder).solve(b)
+            direct = cg_solve(a, b, bic(a, fill_level=0))
+            assert res.converged
+            assert res.iterations == direct.iterations
+            assert np.array_equal(res.x, direct.x)
+            assert not res.report.detections()  # no failure, no escalation
+
+    def test_setup_exception_escalates(self, block_problem_small):
+        p = block_problem_small
+
+        def explode():
+            raise np.linalg.LinAlgError("synthetic setup failure")
+
+        ladder = [
+            FallbackStage("broken", explode),
+            FallbackStage("BIC(0)", lambda: bic(p.a, fill_level=0)),
+        ]
+        solver = ResilientSolver(p.a, ladder)
+        res = solver.solve(p.b)
+        assert res.converged
+        assert res.relative_residual <= 1e-8
+        reasons = [e.reason for e in solver.report.detections()]
+        assert FailureReason.SETUP_PIVOT_FAILURE in reasons
+        assert solver.report.recoveries()
+
+    def test_singularized_selective_block_recovers(self, block_problem_small):
+        """Acceptance: a deliberately singularized selective block makes
+        SB-BIC(0) setup fail (nudged pivots); the chain falls back and
+        still converges to 1e-8, with the full trail in the report."""
+        p = block_problem_small
+        # corrupt the preconditioner's input: zero out the rows/columns of
+        # the first contact group -> its selective diagonal block is
+        # exactly singular at factorization time
+        bad = p.a.tolil()
+        g_dofs = (p.groups[0][:, None] * 3 + np.arange(3)).reshape(-1)
+        bad[g_dofs, :] = 0.0
+        bad[:, g_dofs] = 0.0
+        bad = bad.tocsr()
+        ladder = [
+            FallbackStage(
+                "SB-BIC(0)", lambda: sb_bic0(bad, p.groups, n_nodes=p.mesh.n_nodes)
+            ),
+            FallbackStage("BIC(0)", lambda: bic(p.a, fill_level=0)),
+            FallbackStage("Diagonal", lambda: DiagonalScaling(p.a)),
+        ]
+        solver = ResilientSolver(p.a, ladder)
+        res = solver.solve(p.b)
+        assert res.converged
+        assert res.relative_residual <= 1e-8
+        trail = solver.report
+        det = [e for e in trail.detections() if e.reason is FailureReason.SETUP_PIVOT_FAILURE]
+        assert det and det[0].stage == "SB-BIC(0)"
+        assert any(e.kind == "escalate" for e in trail.events)
+        assert trail.recoveries()
+        assert res.report is trail
+
+    def test_mid_solve_breakdown_resumes_from_best_iterate(self, block_problem_small):
+        p = block_problem_small
+        healthy = bic(p.a, fill_level=0)
+        ladder = [
+            FallbackStage("flaky", lambda: _PoisonAfter(bic(p.a, fill_level=0), 8)),
+            FallbackStage("BIC(0)", lambda: healthy),
+        ]
+        solver = ResilientSolver(p.a, ladder)
+        res = solver.solve(p.b)
+        assert res.converged
+        assert res.relative_residual <= 1e-8
+        reasons = [e.reason for e in solver.report.detections()]
+        assert FailureReason.NAN_DETECTED in reasons
+        # the second stage warm-restarted from the flaky stage's progress
+        infos = [e for e in solver.report.events if e.kind == "info"]
+        assert any("warm restart" in e.detail for e in infos)
+        # warm restart keeps progress: no more iterations than a cold solve
+        cold = cg_solve(p.a, p.b, bic(p.a, fill_level=0))
+        second_stage_iters = res.iterations
+        assert second_stage_iters <= cold.iterations
+
+    def test_all_stages_failing_reports_reason(self):
+        def explode():
+            raise np.linalg.LinAlgError("nope")
+
+        a = sp.eye(6).tocsr()
+        solver = ResilientSolver(a, [FallbackStage("s0", explode)])
+        res = solver.solve(np.ones(6))
+        assert not res.converged
+        assert res.reason is FailureReason.SETUP_PIVOT_FAILURE
+
+    def test_default_ladder_shape(self, block_problem_small):
+        p = block_problem_small
+        ladder = default_ladder(p.a, p.groups)
+        names = [s.name for s in ladder]
+        assert names[0] == "SB-BIC(0)"
+        assert names[1] == "BIC(0)"
+        assert names[-1] == "Diagonal"
+        assert any("shift" in n for n in names)
+        # every rung builds and the strongest rung solves the system
+        res = ResilientSolver(p.a, ladder).solve(p.b)
+        assert res.converged and res.relative_residual <= 1e-8
+
+    def test_default_ladder_scalar_fallback_for_nonblock_matrix(self):
+        rng = np.random.default_rng(3)
+        a = random_spd_csr(10, 0.3, rng)  # 10 not divisible by 3
+        names = [s.name for s in default_ladder(a)]
+        assert any("IC(0)" in n for n in names)
+        res = ResilientSolver(a, default_ladder(a)).solve(rng.normal(size=10))
+        assert res.converged
+
+    def test_chain_time_budget(self, block_problem_small):
+        p = block_problem_small
+        solver = ResilientSolver(p.a, default_ladder(p.a, p.groups), time_budget=0.0)
+        res = solver.solve(p.b)
+        assert not res.converged
+        assert res.reason is FailureReason.TIME_BUDGET
+
+
+# ----------------------------------------------------------------------
+# communication fault injection + detection
+# ----------------------------------------------------------------------
+
+
+def _faulty_system(p, faults, seed=7, ndomains=3):
+    part = partition_nodes_rcb(p.mesh.coords, ndomains)
+    system = DistributedSystem.from_global(
+        p.a, p.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+    )
+    system.comm = FaultyComm(system.domains, faults, seed=seed)
+    return system
+
+
+class TestCommFaultInjection:
+    @pytest.mark.parametrize("kind", ["drop", "nan", "bitflip"])
+    def test_fault_detected_within_one_iteration(self, block_problem_small, kind):
+        p = block_problem_small
+        report = SolveReport()
+        system = _faulty_system(p, [FaultSpec(exchange=2, kind=kind)])
+        res = parallel_cg(system, report=report)
+        assert not res.converged
+        assert res.reason is FailureReason.COMM_FAULT
+        assert len(system.comm.injected) == 1
+        # exchange k happens during iteration k; detection is immediate —
+        # in the same iteration the fault actually landed ("drop" faults
+        # whose payload matches the stale ghost are deferred by the
+        # harness until they corrupt real state)
+        det = [e for e in report.detections() if e.reason is FailureReason.COMM_FAULT]
+        assert len(det) == 1
+        assert det[0].iteration == system.comm.injected[0]["exchange"]
+        # the returned iterate is the last good one, never poisoned
+        assert np.isfinite(res.x).all()
+
+    def test_nan_payload_never_silently_wrong(self, block_problem_small):
+        """Acceptance: a seeded NaN halo fault is reported as COMM_FAULT,
+        not returned as a converged-looking garbage answer."""
+        p = block_problem_small
+        system = _faulty_system(p, [FaultSpec(exchange=0, kind="nan")])
+        res = parallel_cg(system)
+        assert not res.converged
+        assert res.reason is FailureReason.COMM_FAULT
+        assert res.iterations == 0  # caught on the very first exchange
+
+    def test_no_faults_matches_clean_run(self, block_problem_small):
+        p = block_problem_small
+        clean = parallel_cg(
+            DistributedSystem.from_global(
+                p.a,
+                p.b,
+                partition_nodes_rcb(p.mesh.coords, 3),
+                lambda sub, nodes: bic(sub, fill_level=0),
+            )
+        )
+        faulty_but_idle = parallel_cg(_faulty_system(p, []))
+        assert faulty_but_idle.converged
+        assert np.array_equal(clean.x, faulty_but_idle.x)
+
+    def test_seeded_rate_mode_is_deterministic(self, block_problem_small):
+        p = block_problem_small
+        runs = []
+        for _ in range(2):
+            part = partition_nodes_rcb(p.mesh.coords, 3)
+            system = DistributedSystem.from_global(
+                p.a, p.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+            )
+            system.comm = FaultyComm(system.domains, seed=11, rate=0.25)
+            res = parallel_cg(system)
+            runs.append((res.reason, res.iterations, len(system.comm.injected)))
+        assert runs[0] == runs[1]
+
+    def test_halo_check_off_nan_still_caught_as_nan(self, block_problem_small):
+        """Without the probe the NaN still trips the scalar guards — but
+        only the probe gives the precise COMM_FAULT label."""
+        p = block_problem_small
+        system = _faulty_system(p, [FaultSpec(exchange=0, kind="nan")])
+        res = parallel_cg(system, halo_check=False)
+        assert not res.converged
+        assert res.reason is FailureReason.NAN_DETECTED
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(exchange=0, kind="gamma-ray")
+
+
+# ----------------------------------------------------------------------
+# nonlinear driver: penalty back-off + ladder wiring
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def alm_system():
+    mesh = simple_block_model(2, 2, 2, 2, 2)
+    k = assemble_stiffness(mesh)
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.0, 0.0, -1.0]))
+    fixed = np.unique(
+        np.concatenate(
+            [
+                all_dofs(mesh.node_sets["zmin"]),
+                component_dofs(mesh.node_sets["xmin"], 0),
+                component_dofs(mesh.node_sets["ymin"], 1),
+            ]
+        )
+    )
+    a_free, b = apply_dirichlet(k.to_csr(), f, fixed)
+    return mesh, a_free, b
+
+
+class _NaNPrecond(Preconditioner):
+    name = "nan"
+
+    def apply(self, r, out=None):
+        return np.full_like(np.asarray(r, dtype=float), np.nan)
+
+
+class TestNonlinearResilience:
+    def test_healthy_solve_never_backs_off(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4, precond_factory=lambda a: bic(a, fill_level=0),
+        )
+        assert res.converged
+        assert res.penalty_backoffs == 0
+        assert res.penalty == 1e4
+        assert res.report is not None and not res.report.detections()
+
+    def test_inner_failure_triggers_penalty_backoff(self, alm_system):
+        """A poisoned inner solve must not propagate a bogus displacement
+        field: the driver backs the penalty off, rebuilds, retries."""
+        mesh, a_free, b = alm_system
+        calls = {"n": 0}
+
+        def flaky_factory(a):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return _NaNPrecond()
+            return bic(a, fill_level=0)
+
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4, precond_factory=flaky_factory,
+        )
+        assert res.converged
+        assert res.penalty_backoffs == 1
+        assert res.penalty == pytest.approx(1e3)
+        assert np.isfinite(res.u).all()
+        kinds = [e.kind for e in res.report.events]
+        assert "retry" in kinds and "recover" in kinds
+        reasons = [e.reason for e in res.report.detections()]
+        assert FailureReason.NAN_DETECTED in reasons
+
+    def test_backoff_budget_exhaustion_flags_failure(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4, precond_factory=lambda a: _NaNPrecond(),
+            max_penalty_backoffs=1,
+        )
+        assert not res.converged
+        assert res.penalty_backoffs == 1
+        # the garbage iterate was never folded into u
+        assert np.isfinite(res.u).all()
+
+    def test_ladder_factory_wiring(self, alm_system):
+        mesh, a_free, b = alm_system
+        res = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4,
+            precond_factory=lambda a: bic(a, fill_level=0),
+            ladder_factory=lambda a: default_ladder(a, mesh.contact_groups),
+        )
+        ref = solve_nonlinear_contact(
+            a_free, b, mesh.contact_groups, mesh.n_nodes,
+            penalty=1e4, precond_factory=lambda a: bic(a, fill_level=0),
+        )
+        assert res.converged
+        assert np.allclose(res.u, ref.u, atol=1e-8)
