@@ -60,6 +60,40 @@ def test_bench_sbbic_setup(benchmark, problem):
     )
 
 
+def test_bench_sbbic_refactor(benchmark, problem, sb_precond):
+    """Numeric-only re-factorization on the cached symbolic pattern."""
+    benchmark.pedantic(
+        lambda: sb_precond.refactor(problem.a), rounds=5, iterations=1
+    )
+
+
+def test_refactor_speedup_vs_cold_setup(problem):
+    """refactor must stay >= 2x faster than a cold SB-BIC(0) setup.
+
+    The acceptance floor of the symbolic/numeric split: a numeric-only
+    re-setup skips ordering, fill-pattern enumeration, scheduling and
+    operator-structure compilation, so it must beat the cold path by a
+    wide margin on the standard bench model.
+    """
+    import time
+
+    cold = float("inf")
+    m = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        m = sb_bic0(problem.a, problem.groups)
+        cold = min(cold, time.perf_counter() - t0)
+    warm = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        m.refactor(problem.a)
+        warm = min(warm, time.perf_counter() - t0)
+    assert cold / warm >= 2.0, (
+        f"refactor {warm * 1e3:.2f} ms vs cold setup {cold * 1e3:.2f} ms "
+        f"= {cold / warm:.2f}x, below the 2x floor"
+    )
+
+
 def test_bench_bic1_setup(benchmark, problem):
     benchmark.pedantic(
         lambda: bic(problem.a, fill_level=1), rounds=2, iterations=1

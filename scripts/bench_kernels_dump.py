@@ -9,7 +9,12 @@ Two layers of measurement:
    bucketed ``reference_apply``, and the full SB-BIC(0) ``cg_solve``
    against the same solve driven through the reference path.  These are
    the speedups the perf trajectory tracks.
-2. Optionally (skipped with ``--quick``), the pytest-benchmark suite in
+2. A setup-phase breakdown for IC(0)/BIC(0)/SB-BIC(0): cold setup
+   (symbolic + numeric split) versus the numeric-only ``refactor`` on
+   same-pattern values at a different penalty.  These are appended to a
+   *cumulative* ``BENCH_setup.json`` trajectory (one entry per run) so
+   the setup-phase cost is tracked across PRs.
+3. Optionally (skipped with ``--quick``), the pytest-benchmark suite in
    ``benchmarks/test_bench_kernels.py``, whose statistics are embedded
    verbatim.
 
@@ -19,9 +24,10 @@ Usage::
     PYTHONPATH=src python scripts/bench_kernels_dump.py --quick   # CI smoke
 
 Writes ``BENCH_kernels.json`` at the repository root (override with
-``--out``).  Exit status is non-zero if the measured speedups regress
-below the floors recorded in the acceptance criteria (apply >= 3x,
-cg_solve >= 1.5x) unless ``--no-gate`` is given.
+``--out``) and appends to ``BENCH_setup.json`` (``--setup-out``).  Exit
+status is non-zero if the measured speedups regress below the floors
+recorded in the acceptance criteria (apply >= 3x, cg_solve >= 1.5x,
+SB-BIC(0) refactor >= 2x vs cold setup) unless ``--no-gate`` is given.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.fem.generators import simple_block_model  # noqa: E402
 from repro.fem.model import build_contact_problem  # noqa: E402
-from repro.precond import sb_bic0  # noqa: E402
+from repro.precond import bic, sb_bic0, scalar_ic0  # noqa: E402
 from repro.precond.base import Preconditioner  # noqa: E402
 from repro.solvers.cg import cg_solve  # noqa: E402
 
@@ -67,6 +73,69 @@ def best_of(fn, *args, reps: int) -> float:
         fn(*args)
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def measure_setup_phases(problem, problem_alt, *, quick: bool) -> dict:
+    """Time the symbolic/numeric/refactor setup phases per preconditioner.
+
+    For each of IC(0) scalar, BIC(0) and SB-BIC(0): a cold build gives
+    ``setup_s`` (total) plus its ``symbolic_s``/``numeric_s`` split, then
+    ``refactor_s`` is the numeric-only re-setup on same-pattern values
+    from a different penalty (``problem_alt``) — the ALM back-off hot
+    path the symbolic/numeric split exists for.
+    """
+    cold_reps = 1 if quick else 3
+    refac_reps = 3 if quick else 10
+    builders = {
+        "IC(0)": lambda a: scalar_ic0(a),
+        "BIC(0)": lambda a: bic(a, fill_level=0),
+        "SB-BIC(0)": lambda a: sb_bic0(a, problem.groups),
+    }
+    out = {}
+    for name, build in builders.items():
+        cold_s = float("inf")
+        m = None
+        for _ in range(cold_reps):
+            t0 = time.perf_counter()
+            m = build(problem.a)
+            cold_s = min(cold_s, time.perf_counter() - t0)
+        refactor_s = min(
+            best_of(m.refactor, problem_alt.a, reps=refac_reps),
+            best_of(m.refactor, problem.a, reps=refac_reps),
+        )
+        out[name] = {
+            "setup_s": cold_s,
+            "symbolic_s": float(m.symbolic_seconds),
+            "numeric_s": float(m.numeric_seconds),
+            "refactor_s": refactor_s,
+            "refactor_speedup": cold_s / refactor_s,
+        }
+        print(
+            f"{name}: cold setup {cold_s * 1e3:.1f} ms "
+            f"(symbolic {m.symbolic_seconds * 1e3:.1f}, "
+            f"numeric {m.numeric_seconds * 1e3:.1f}), "
+            f"refactor {refactor_s * 1e3:.2f} ms "
+            f"-> {cold_s / refactor_s:.1f}x"
+        )
+    return out
+
+
+def append_setup_trajectory(path: Path, entry: dict) -> None:
+    """Append a run entry to the cumulative setup-phase trajectory file."""
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {
+            "meta": {
+                "model": "simple_block_model(6, 6, 4, 6, 6)",
+                "penalties": [1.0e6, 1.0e3],
+                "generated_by": "scripts/bench_kernels_dump.py",
+                "note": "cumulative setup-phase trajectory, one entry per run",
+            },
+            "trajectory": [],
+        }
+    doc["trajectory"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def run_pytest_suite() -> list[dict] | None:
@@ -108,6 +177,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="CI smoke mode: few reps, skip the pytest suite")
     ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json")
+    ap.add_argument("--setup-out", type=Path, default=REPO_ROOT / "BENCH_setup.json")
     ap.add_argument("--no-gate", action="store_true", help="never fail on regressed speedups")
     args = ap.parse_args(argv)
 
@@ -143,6 +213,21 @@ def main(argv=None) -> int:
     bsr = problem.a_bcsr.to_bsr()
     matvec_s = best_of(lambda: bsr @ r, reps=apply_reps)
 
+    print("measuring setup phases (cold symbolic+numeric vs refactor) ...")
+    problem_alt = build_contact_problem(
+        simple_block_model(6, 6, 4, 6, 6), penalty=1e3
+    )
+    setup_phases = measure_setup_phases(problem, problem_alt, quick=args.quick)
+    append_setup_trajectory(
+        args.setup_out,
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "quick": bool(args.quick),
+            "preconds": setup_phases,
+        },
+    )
+    print(f"appended setup trajectory entry to {args.setup_out}")
+
     suite = None if args.quick else run_pytest_suite()
 
     out = {
@@ -172,13 +257,22 @@ def main(argv=None) -> int:
             "bsr_matvec_s": matvec_s,
             "sbbic_setup_s": float(m.setup_seconds),
         },
+        "setup_phases": setup_phases,
         "pytest_benchmarks": suite,
     }
     args.out.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {args.out}")
 
     if not args.no_gate:
-        floors = [("sbbic_apply", apply_speedup, 3.0), ("sbbic_cg_solve", cg_speedup, 1.5)]
+        floors = [
+            ("sbbic_apply", apply_speedup, 3.0),
+            ("sbbic_cg_solve", cg_speedup, 1.5),
+            (
+                "sbbic_refactor",
+                setup_phases["SB-BIC(0)"]["refactor_speedup"],
+                2.0,
+            ),
+        ]
         failed = [(n, s, f) for n, s, f in floors if s < f]
         if failed:
             for n, s, f in failed:

@@ -33,6 +33,7 @@ import scipy.sparse as sp
 from repro.fem.contact import constraint_matrix
 from repro.fem.mesh import Mesh
 from repro.precond.base import Preconditioner
+from repro.sparse.patterns import csr_position_map, csr_union_pattern
 from repro.resilience.taxonomy import FailureReason, SolveReport
 from repro.solvers.cg import CGResult, cg_solve
 
@@ -98,8 +99,12 @@ def solve_nonlinear_contact(
         ALM penalty (the paper's lambda).
     precond_factory:
         Builds the preconditioner for the augmented matrix
-        ``A + penalty * C^T C`` once; reused across cycles (and rebuilt
-        after a penalty back-off).
+        ``A + penalty * C^T C`` once; reused across cycles.  After a
+        penalty back-off the pattern is unchanged, so a preconditioner
+        exposing ``refactor`` (the IC family) is numerically re-setup on
+        its cached symbolic pattern instead of rebuilt; only
+        preconditioners without ``refactor`` go through the factory
+        again.
     penalty_backoff / max_penalty_backoffs:
         When an inner solve fails with a breakdown-class reason, the
         poisoned iterate is discarded, the penalty is multiplied by
@@ -126,11 +131,25 @@ def solve_nonlinear_contact(
         report = SolveReport()
     c = constraint_matrix(groups, n_nodes)
     ctc = (c.T @ c).tocsr()
+    ctc.sum_duplicates()
+    ctc.sort_indices()
+    a_free = sp.csr_matrix(a_free)
+    a_free.sum_duplicates()
+    a_free.sort_indices()
+
+    # The augmented pattern union(A_free, C^T C) is fixed across all
+    # penalty updates; build it once and make every build_system a pure
+    # values gather into the same arrays.  Reusing the same CSR object
+    # also lets the preconditioner's symbolic pattern check hit its
+    # identity fast path on refactor.
+    a_aug = csr_union_pattern(a_free, ctc)
+    map_free = csr_position_map(a_aug, a_free)
+    map_ctc = csr_position_map(a_aug, ctc)
 
     def build_system(lam_penalty: float):
-        a_aug = (a_free + lam_penalty * ctc).tocsr()
-        a_aug.sum_duplicates()
-        a_aug.sort_indices()
+        a_aug.data[:] = 0.0
+        a_aug.data[map_free] = a_free.data
+        a_aug.data[map_ctc] += lam_penalty * ctc.data
         return a_aug
 
     def inner_solve(a_aug, m, rhs, x0) -> CGResult:
@@ -198,7 +217,14 @@ def solve_nonlinear_contact(
                 backoff=backoffs,
             )
             a_aug = build_system(penalty)
-            m = precond_factory(a_aug) if ladder_factory is None else None
+            if ladder_factory is None:
+                # same pattern, new values: numeric-only refactorization
+                # when the preconditioner supports it (one symbolic setup
+                # for the whole ALM run), full rebuild otherwise
+                if m is not None and hasattr(m, "refactor"):
+                    m.refactor(a_aug)
+                else:
+                    m = precond_factory(a_aug)
             lam = lam * penalty_backoff  # keep the multiplier scale consistent
             continue
         u = res.x

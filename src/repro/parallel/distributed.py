@@ -19,7 +19,7 @@ exchange, so an injected or real communication fault surfaces as
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
 import numpy as np
@@ -30,7 +30,9 @@ from repro.parallel.partition import LocalDomain, build_domains
 from repro.precond.base import Preconditioner
 from repro.resilience.taxonomy import FailureReason, SolveReport
 from repro.solvers.cg import CGResult, _stagnated, _supports_out, check_finite_vector
+from repro.sparse.patterns import position_matrix, positions_from_data
 from repro.utils.timing import Timer
+from repro.utils.validate import check_square_csr
 
 LocalPrecondFactory = Callable[[sp.csr_matrix, np.ndarray], Preconditioner]
 
@@ -53,6 +55,12 @@ class DistributedSystem:
     b_parts: list[np.ndarray]  # internal-DOF right-hand sides
     node_domain: np.ndarray
     ndof: int
+    b: int = 3
+    precond_factory: LocalPrecondFactory | None = None
+    local_internals: list[sp.csr_matrix] = dataclass_field(default_factory=list)
+    _a_pattern: tuple[np.ndarray, np.ndarray] | None = None
+    _a_maps: list[np.ndarray] | None = None
+    _internal_maps: list[np.ndarray] | None = None
 
     @classmethod
     def from_global(
@@ -70,12 +78,14 @@ class DistributedSystem:
         preconditioning of section 2.2) plus the global ids of the
         domain's nodes.
         """
+        a = check_square_csr(a)
         domains = build_domains(a, node_domain, b=b)
         comm = LockstepComm(domains)
-        preconds, b_parts = [], []
+        preconds, b_parts, local_internals = [], [], []
         for dom in domains:
             ni_dof = dom.n_internal * b
             local_internal = dom.a_local[:, :ni_dof].tocsr()
+            local_internals.append(local_internal)
             preconds.append(precond_factory(local_internal, dom.internal_nodes))
             rows_dof = (dom.internal_nodes[:, None] * b + np.arange(b)).reshape(-1)
             b_parts.append(np.asarray(b_vec, dtype=np.float64)[rows_dof])
@@ -86,7 +96,72 @@ class DistributedSystem:
             b_parts=b_parts,
             node_domain=np.asarray(node_domain, dtype=np.int64),
             ndof=int(np.asarray(b_vec).size),
+            b=b,
+            precond_factory=precond_factory,
+            local_internals=local_internals,
+            _a_pattern=(a.indptr, a.indices),
         )
+
+    def refactor(
+        self, a, b_vec: np.ndarray | None = None
+    ) -> "DistributedSystem":
+        """Values-only update: new global values, same partition/pattern.
+
+        Outer-loop drivers (ALM penalty updates, time stepping) call this
+        instead of :meth:`from_global`: the partitioning, communication
+        tables and each domain preconditioner's symbolic setup are
+        reused.  The per-domain value maps are computed once, lazily, by
+        pushing a position matrix through the same :func:`build_domains`
+        pipeline; afterwards every refactorization is a fancy-index
+        gather per domain plus a numeric-only preconditioner refactor
+        (full factory rebuild only for preconditioners that do not
+        expose ``refactor``).
+        """
+        a = check_square_csr(a)
+        indptr, indices = self._a_pattern
+        same = a.indptr is indptr and a.indices is indices
+        if not same and not (
+            np.array_equal(a.indptr, indptr) and np.array_equal(a.indices, indices)
+        ):
+            raise ValueError(
+                "matrix sparsity pattern differs from the partitioned system; "
+                "build a new DistributedSystem with from_global instead"
+            )
+        if self._a_maps is None:
+            self._build_value_maps(a)
+        for d, dom in enumerate(self.domains):
+            dom.a_local.data[:] = a.data[self._a_maps[d]]
+            li = self.local_internals[d]
+            li.data[:] = a.data[self._internal_maps[d]]
+            m = self.preconds[d]
+            if hasattr(m, "refactor"):
+                m.refactor(li)
+            else:
+                self.preconds[d] = self.precond_factory(li, dom.internal_nodes)
+        if b_vec is not None:
+            b_vec = np.asarray(b_vec, dtype=np.float64)
+            for d, dom in enumerate(self.domains):
+                rows_dof = (
+                    dom.internal_nodes[:, None] * self.b + np.arange(self.b)
+                ).reshape(-1)
+                self.b_parts[d] = b_vec[rows_dof]
+        return self
+
+    def _build_value_maps(self, a: sp.csr_matrix) -> None:
+        """Gather maps global ``a.data`` -> each domain's local arrays."""
+        pos_domains = build_domains(position_matrix(a), self.node_domain, b=self.b)
+        self._a_maps, self._internal_maps = [], []
+        for d, pdom in enumerate(pos_domains):
+            self._a_maps.append(
+                positions_from_data(
+                    pdom.a_local.data, self.domains[d].a_local.nnz
+                )
+            )
+            ni_dof = pdom.n_internal * self.b
+            li_pos = pdom.a_local[:, :ni_dof].tocsr()
+            self._internal_maps.append(
+                positions_from_data(li_pos.data, self.local_internals[d].nnz)
+            )
 
     def gather_global(self, x_parts: list[np.ndarray]) -> np.ndarray:
         """Assemble the global solution from internal parts."""

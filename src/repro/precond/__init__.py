@@ -18,7 +18,12 @@ incomplete Cholesky over variable-size super-node blocks.
 
 from repro.precond.base import Preconditioner, IdentityPreconditioner
 from repro.precond.diagonal import DiagonalScaling
-from repro.precond.icfact import BlockICFactorization
+from repro.precond.icfact import (
+    BlockICFactorization,
+    ICSymbolic,
+    reset_setup_counters,
+    setup_counters,
+)
 from repro.precond.ic0 import scalar_ic0
 from repro.precond.bic import bic
 from repro.precond.sbbic import sb_bic0
@@ -31,6 +36,9 @@ __all__ = [
     "IdentityPreconditioner",
     "DiagonalScaling",
     "BlockICFactorization",
+    "ICSymbolic",
+    "setup_counters",
+    "reset_setup_counters",
     "scalar_ic0",
     "bic",
     "sb_bic0",

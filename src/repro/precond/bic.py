@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.precond.icfact import BlockICFactorization
+from repro.precond.icfact import BlockICFactorization, ICSymbolic
 
 
 def node_supernodes(n_nodes: int, b: int = 3) -> list[np.ndarray]:
@@ -21,6 +21,7 @@ def bic(
     ncolors: int = 0,
     variant: str = "auto",
     shift: float = 0.0,
+    symbolic: ICSymbolic | None = None,
 ) -> BlockICFactorization:
     """Block incomplete Cholesky with ``b x b`` node blocks.
 
@@ -29,7 +30,9 @@ def bic(
     which is what lets BIC(0) survive penalty values that break scalar
     IC(0) (Table 2).  ``shift`` adds a Manteuffel-style ``alpha I`` to
     each diagonal block before inversion (robustness retry knob used by
-    the resilience fallback chain; 0 reproduces the paper).
+    the resilience fallback chain; 0 reproduces the paper).  ``symbolic``
+    reuses a cached pattern phase from an earlier factorization of a
+    same-pattern matrix — only the numeric phase runs.
     """
     ndof = a.shape[0]
     if ndof % b:
@@ -37,10 +40,11 @@ def bic(
     name = f"BIC({fill_level})" if shift == 0.0 else f"BIC({fill_level})+shift{shift:g}"
     return BlockICFactorization(
         a,
-        node_supernodes(ndof // b, b),
+        None if symbolic is not None else node_supernodes(ndof // b, b),
         fill_level=fill_level,
         ncolors=ncolors,
         variant=variant,
         shift=shift,
         name=name,
+        symbolic=symbolic,
     )

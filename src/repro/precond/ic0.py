@@ -4,11 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.precond.icfact import BlockICFactorization
+from repro.precond.icfact import BlockICFactorization, ICSymbolic
 
 
 def scalar_ic0(
-    a, *, ncolors: int = 0, variant: str = "auto", shift: float = 0.0
+    a,
+    *,
+    ncolors: int = 0,
+    variant: str = "auto",
+    shift: float = 0.0,
+    symbolic: ICSymbolic | None = None,
 ) -> BlockICFactorization:
     """Point incomplete Cholesky with no fill: every DOF is its own block.
 
@@ -16,10 +21,13 @@ def scalar_ic0(
     which is why the paper shows it failing on large-penalty problems
     where BIC(0) still converges (Table 2).  ``shift`` adds a
     Manteuffel-style diagonal shift before pivot inversion (the classic
-    shifted-IC retry for exactly this failure mode).
+    shifted-IC retry for exactly this failure mode).  ``symbolic`` reuses
+    a cached pattern phase from an earlier same-pattern factorization.
     """
     ndof = a.shape[0]
-    supernodes = [np.array([d]) for d in range(ndof)]
+    supernodes = (
+        None if symbolic is not None else [np.array([d]) for d in range(ndof)]
+    )
     name = "IC(0) scalar" if shift == 0.0 else f"IC(0) scalar+shift{shift:g}"
     return BlockICFactorization(
         a,
@@ -29,4 +37,5 @@ def scalar_ic0(
         variant=variant,
         shift=shift,
         name=name,
+        symbolic=symbolic,
     )

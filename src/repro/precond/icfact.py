@@ -29,6 +29,22 @@ Two numeric variants:
 For fill level >= 1 the execution schedule comes from level scheduling of
 the filled dependency DAG instead of the coloring (the paper only ran
 BIC(1)/(2) on scalar machines, where no color constraint exists).
+
+Symbolic / numeric split
+------------------------
+
+Setup is split into two phases (DESIGN.md section 9).  The *symbolic*
+phase (:class:`ICSymbolic`) depends only on the sparsity pattern of A and
+the super-node partition: ordering, fill pattern, VBR layout, execution
+schedule, the index maps driving the numeric update sweeps, and the
+compiled CSR *structures* of the substitution operators.  The *numeric*
+phase scatters A's values, runs the update sweeps and re-gathers the
+operator data arrays — :meth:`BlockICFactorization.refactor` repeats it
+on new values (a penalty update, a Manteuffel shift escalation) without
+redoing any pattern work.  One symbolic object can be shared by any
+number of factorizations via the ``symbolic=`` constructor argument; the
+invalidation rule is simple: a changed sparsity pattern requires a new
+symbolic object (``refactor`` raises on a pattern mismatch).
 """
 
 from __future__ import annotations
@@ -53,7 +69,30 @@ from repro.sparse.vbr import (
 )
 from repro.utils.validate import check_square_csr
 
-__all__ = ["BlockICFactorization", "lower_fill_pattern"]
+__all__ = [
+    "BlockICFactorization",
+    "ICSymbolic",
+    "lower_fill_pattern",
+    "reset_setup_counters",
+    "setup_counters",
+]
+
+
+# Process-wide census of setup phases, used by the perf trajectory and the
+# "exactly one symbolic setup" tests: every ICSymbolic build bumps
+# "symbolic", every numeric (re)factorization bumps "numeric".
+_SETUP_COUNTERS = {"symbolic": 0, "numeric": 0}
+
+
+def setup_counters() -> dict[str, int]:
+    """Snapshot of the process-wide symbolic/numeric setup counters."""
+    return dict(_SETUP_COUNTERS)
+
+
+def reset_setup_counters() -> None:
+    """Zero the symbolic/numeric setup counters (test/bench bookkeeping)."""
+    _SETUP_COUNTERS["symbolic"] = 0
+    _SETUP_COUNTERS["numeric"] = 0
 
 
 def _scatter_add(vec: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
@@ -182,30 +221,32 @@ def _pairs_through_edges(indptr, indices, rows, cols, n, chunk=4096):
     return out
 
 
-class BlockICFactorization(Preconditioner):
-    """Variable-block incomplete Cholesky preconditioner.
+def _positions_from_float(data: np.ndarray) -> np.ndarray:
+    """Recover the 1-based integer positions smuggled through float data."""
+    return np.asarray(np.rint(data), dtype=np.int64) - 1
 
-    Parameters
-    ----------
-    a:
-        Symmetric positive definite matrix (scalar CSR or convertible).
-    supernodes:
-        Ordered partition of the DOFs into super-nodes (selective
-        blocks).  Singleton node blocks give BIC(k); contact groups give
-        SB-BIC(0); singleton DOFs give scalar IC(k).
-    fill_level:
-        Level-of-fill k of the block factorization (0, 1 or 2).
-    ncolors:
-        Target multicolor count (0 = minimal greedy palette).
-    variant:
-        ``"dmod"``, ``"full"`` or ``"auto"`` (dmod for k = 0, else full).
-    sort_blocks_by_size:
-        Sort super-nodes by descending size inside each color (Fig. 22).
-    coloring:
-        ``"mc"`` (default, paper section 4.2) or ``"cmrcm"``.
-    shift:
-        Diagonal shift added to each diagonal block before inversion
-        (robustness safeguard; 0 reproduces the paper).
+
+class ICSymbolic:
+    """Pattern-only ("symbolic") phase of the block incomplete Cholesky.
+
+    Everything computed here depends only on the sparsity pattern of A
+    and the super-node partition:
+
+    - the multicolor (or CM-RCM) ordering and the DOF permutation,
+    - the level-k lower fill pattern and the VBR block layout,
+    - the execution schedule (colors, or level-scheduled waves),
+    - the values-only scatter map from A's CSR entries into L's blocks,
+    - the index maps driving the numeric factorization sweeps (diagonal
+      inversion buckets, dmod diagonal updates, full-variant triples),
+    - the compiled CSR *structures* of the per-group substitution
+      operators (values are gathered by the numeric phase).
+
+    One symbolic object can drive any number of numeric factorizations —
+    across ALM penalty updates, Manteuffel shift escalations and
+    fallback-ladder rungs — via ``BlockICFactorization(..., symbolic=)``
+    or :meth:`BlockICFactorization.refactor`.  The invalidation rule: a
+    changed sparsity pattern requires a new symbolic object
+    (:meth:`pattern_matches` is the guard).
     """
 
     def __init__(
@@ -218,8 +259,6 @@ class BlockICFactorization(Preconditioner):
         variant: str = "auto",
         sort_blocks_by_size: bool = True,
         coloring: str = "mc",
-        shift: float = 0.0,
-        name: str | None = None,
     ) -> None:
         t0 = time.perf_counter()
         a = check_square_csr(a)
@@ -229,8 +268,8 @@ class BlockICFactorization(Preconditioner):
             raise ValueError("the dmod variant is only defined for fill level 0")
         self.variant = variant
         self.fill_level = fill_level
+        self.sort_blocks_by_size = sort_blocks_by_size
         self.ndof = a.shape[0]
-        self.name = name or f"BIC({fill_level})"
 
         # ---- ordering: color the super-node graph, sort by size in-color
         snode_of0, _local0 = supernode_maps(supernodes, self.ndof)
@@ -247,7 +286,7 @@ class BlockICFactorization(Preconditioner):
             order = np.lexsort((np.arange(len(supernodes)), -sizes0, col.colors))
         else:
             order = np.lexsort((np.arange(len(supernodes)), col.colors))
-        self._order = order.astype(np.int64)
+        self.order = order.astype(np.int64)
         reordered = [np.asarray(supernodes[s], dtype=np.int64) for s in order]
         self.sizes = sizes0[order]
         self.perm_dof = permutation_from_supernodes(reordered)
@@ -256,15 +295,14 @@ class BlockICFactorization(Preconditioner):
         colors_new = col.colors[order]
         self.ncolors = col.ncolors
 
-        # ---- symbolic: filled lower pattern in the new numbering
+        # ---- filled lower pattern in the new numbering
         snode_of, local = supernode_maps(reordered, self.ndof)
         adj = self._supernode_adjacency(a, snode_of, len(reordered))
         lp_indptr, lp_indices = lower_fill_pattern(adj, fill_level)
         lp0_indptr, _lp0_indices = lower_fill_pattern(adj, 0)
-        self.L = VBRMatrix.from_pattern(self.sizes, lp_indptr, lp_indices)
-        self.L.scatter_csr(a, snode_of, local, lower_only=True)
+        self.pattern = VBRMatrix.from_pattern(self.sizes, lp_indptr, lp_indices)
         # number of *fill* blocks beyond the level-0 pattern (memory census)
-        self.nnz_fill = int(self.L.nnzb - lp0_indptr[-1])
+        self.nnz_fill = int(self.pattern.nnzb - lp0_indptr[-1])
 
         # ---- execution schedule
         if fill_level == 0:
@@ -276,30 +314,53 @@ class BlockICFactorization(Preconditioner):
         else:
             groups = self._level_schedule()
         self.schedule = groups
+        self.group_of = np.empty(self.pattern.N, dtype=np.int64)
+        for g, members in enumerate(self.schedule):
+            self.group_of[members] = g
 
-        # ---- numeric factorization
-        self._shift = float(shift)
-        self._prepare_diag_storage()
+        # ---- values-only scatter map A -> L (the refactor fast path)
+        self._a_indptr = a.indptr
+        self._a_indices = a.indices
+        self._build_scatter_map(a, snode_of, local)
+
+        # ---- diagonal block storage layout
+        self.diag_pos = self.pattern.indptr[1:] - 1
+        if not np.array_equal(
+            self.pattern.indices[self.diag_pos], np.arange(self.pattern.N)
+        ):
+            raise AssertionError("diagonal block is not last in some lower row")
+        sz2 = self.sizes * self.sizes
+        self.dinv_off = np.concatenate([[0], np.cumsum(sz2)]).astype(np.int64)
+        self.dinv_size = int(self.dinv_off[-1])
+
+        # ---- numeric-sweep index maps (gathers/scatters precomputed so
+        # the numeric phase is pure fancy-index + batched matmul)
+        self._build_diag_buckets()
         if variant == "dmod":
-            self._factor_dmod()
+            self.dmod_updates = self._build_dmod_updates()
+            self.full_updates = None
         else:
-            self._factor_full()
-        self._warn_on_pivot_nudges()
-        self._prepare_apply()
-        self.setup_seconds = time.perf_counter() - t0
+            self.full_updates = self._build_full_updates()
+            self.dmod_updates = None
+
+        # ---- compiled substitution operator structures
+        self._build_apply_structures()
+
+        _SETUP_COUNTERS["symbolic"] += 1
+        self.build_seconds = time.perf_counter() - t0
 
     # ------------------------------------------------------------------
     # structure helpers
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _supernode_adjacency(a: sp.csr_matrix, snode_of: np.ndarray, n: int) -> sp.csr_matrix:
+    def _supernode_adjacency(
+        a: sp.csr_matrix, snode_of: np.ndarray, n: int
+    ) -> sp.csr_matrix:
         coo = a.tocoo()
         bi = snode_of[coo.row]
         bj = snode_of[coo.col]
-        g = sp.csr_matrix(
-            (np.ones(bi.size, dtype=np.int8), (bi, bj)), shape=(n, n)
-        )
+        g = sp.csr_matrix((np.ones(bi.size, dtype=np.int8), (bi, bj)), shape=(n, n))
         return adjacency_from_pattern(g)
 
     def _level_schedule(self) -> list[np.ndarray]:
@@ -311,10 +372,10 @@ class BlockICFactorization(Preconditioner):
         ``wave[i] = max(wave[nbrs(i)]) + 1`` one frontier at a time with
         array operations instead of an O(N) Python loop.
         """
-        n = self.L.N
+        n = self.pattern.N
         if n == 0:
             return []
-        indptr, indices = self.L.indptr, self.L.indices
+        indptr, indices = self.pattern.indptr, self.pattern.indices
         # remaining strictly-lower dependencies per row (diag is last)
         deps = np.diff(indptr) - 1
         # CSC view of the strictly-lower pattern: rows depending on a column
@@ -322,7 +383,7 @@ class BlockICFactorization(Preconditioner):
         order = np.argsort(indices[offdiag], kind="stable")
         by_col = offdiag[order]
         col_sorted = indices[by_col]
-        dep_rows = self.L.block_rows()[by_col]
+        dep_rows = self.pattern.block_rows()[by_col]
         col_ptr = np.searchsorted(col_sorted, np.arange(n + 1))
 
         waves: list[np.ndarray] = []
@@ -342,25 +403,513 @@ class BlockICFactorization(Preconditioner):
             raise AssertionError("level schedule did not cover all rows")
         return waves
 
+    def _offdiag_positions(self) -> np.ndarray:
+        p = np.arange(self.pattern.nnzb, dtype=np.int64)
+        return p[self.pattern.indices != self.pattern.block_rows()]
+
+    def _build_scatter_map(self, a: sp.csr_matrix, snode_of, local) -> None:
+        """Map each lower-triangular entry of A to its slot in L's data.
+
+        A is canonical CSR, so every kept entry lands in a distinct slot
+        and the numeric scatter is a single fancy-index assignment.
+        """
+        coo = a.tocoo()
+        bi = snode_of[coo.row]
+        bj = snode_of[coo.col]
+        keep = bi >= bj
+        src = np.flatnonzero(keep).astype(np.int64)
+        bi, bj = bi[keep], bj[keep]
+        pos = self.pattern.find_blocks(bi, bj)
+        if (pos < 0).any():
+            raise ValueError("CSR entry outside the VBR pattern")
+        li = local[coo.row[keep]]
+        lj = local[coo.col[keep]]
+        self.scatter_src = src
+        self.scatter_dst = self.pattern.boff[pos] + li * self.sizes[bj] + lj
+
+    def pattern_matches(self, a: sp.csr_matrix) -> bool:
+        """True iff *a* has exactly the pattern this object was built from."""
+        if a.shape[0] != self.ndof:
+            return False
+        if a.indptr is self._a_indptr and a.indices is self._a_indices:
+            return True
+        return (
+            a.indices.size == self._a_indices.size
+            and np.array_equal(a.indptr, self._a_indptr)
+            and np.array_equal(a.indices, self._a_indices)
+        )
+
+    def new_vbr(self) -> VBRMatrix:
+        """Fresh zero-valued L sharing this pattern's structure arrays."""
+        return self.pattern.empty_like()
+
+    # ------------------------------------------------------------------
+    # numeric-sweep index maps
+    # ------------------------------------------------------------------
+
+    def _build_diag_buckets(self) -> None:
+        """Per group: (s, L-data gather, dinv scatter) for diag inversion."""
+        L = self.pattern
+        self.diag_buckets: list[list[tuple]] = []
+        for members in self.schedule:
+            bucket = []
+            for s, _sc, rows in shape_buckets(self.sizes, self.sizes, members):
+                src = L.boff[self.diag_pos[rows], None] + np.arange(s * s)
+                dst = self.dinv_off[rows, None] + np.arange(s * s)
+                bucket.append((int(s), src, dst))
+            self.diag_buckets.append(bucket)
+
+    def _build_dmod_updates(self) -> list[list[tuple]]:
+        """Per group: gather/scatter maps of the dmod diagonal recurrence
+        ``D_i -= A_ik D_k^{-1} A_ik^T`` (k in earlier groups)."""
+        L = self.pattern
+        offdiag = self._offdiag_positions()
+        brow = L.block_rows()
+        row_group = self.group_of[brow[offdiag]]
+        shape_r = self.sizes[brow]
+        shape_c = self.sizes[L.indices]
+        out: list[list[tuple]] = []
+        for g in range(len(self.schedule)):
+            pos_g = offdiag[row_group == g]
+            bucket = []
+            for si, sk, pos in shape_buckets(shape_r, shape_c, pos_g):
+                rows = brow[pos]
+                ks = L.indices[pos]
+                flat_ik = L.boff[pos, None] + np.arange(si * sk)
+                dflat_k = self.dinv_off[ks, None] + np.arange(sk * sk)
+                diag_dst = L.boff[self.diag_pos[rows], None] + np.arange(si * si)
+                bucket.append((int(si), int(sk), flat_ik, dflat_k, diag_dst))
+            out.append(bucket)
+        return out
+
+    def _build_triples(self):
+        """All update triples (k; positions of (i,k), (j,k), (i,j)).
+
+        For each column k and each pair i >= j of rows holding a block in
+        column k, the block (i, j) — if present in the pattern — receives
+        the update ``V_ij -= V_ik D_k^{-1} V_jk^T``.
+
+        Columns are bucketed by their strictly-lower entry count m, so
+        the pair enumeration runs batched over all columns of a bucket
+        (one ``tril_indices`` per m instead of one per column).
+        """
+        L = self.pattern
+        brow = L.block_rows()
+        offdiag = self._offdiag_positions()
+        # CSC-like grouping of strictly-lower positions by column.
+        order = np.argsort(L.indices[offdiag], kind="stable")
+        by_col = offdiag[order]
+        col_sorted = L.indices[by_col]
+        col_ptr = np.searchsorted(col_sorted, np.arange(L.N + 1))
+        counts = np.diff(col_ptr)
+
+        tks, piks, pjks, pijs = [], [], [], []
+        for m in np.unique(counts):
+            if m == 0:
+                continue
+            m = int(m)
+            ks = np.flatnonzero(counts == m).astype(np.int64)
+            npairs = m * (m + 1) // 2
+            a_idx, b_idx = np.tril_indices(m)
+            # keep each candidate batch around one million triples
+            step = max(1, 1_000_000 // npairs)
+            for c0 in range(0, ks.size, step):
+                kc = ks[c0 : c0 + step]
+                # positions of blocks (i, k), i > k; rows ascending per column
+                pos = by_col[col_ptr[kc][:, None] + np.arange(m)]
+                pik = pos[:, a_idx].reshape(-1)
+                pjk = pos[:, b_idx].reshape(-1)
+                kk = np.repeat(kc, npairs)
+                pij = L.find_blocks(brow[pik], brow[pjk])
+                keep = pij >= 0
+                if keep.any():
+                    tks.append(kk[keep])
+                    piks.append(pik[keep])
+                    pjks.append(pjk[keep])
+                    pijs.append(pij[keep])
+        if not tks:
+            z = np.empty(0, dtype=np.int64)
+            return z, z.copy(), z.copy(), z.copy()
+        return (
+            np.concatenate(tks),
+            np.concatenate(piks),
+            np.concatenate(pjks),
+            np.concatenate(pijs),
+        )
+
+    def _build_full_updates(self) -> list[list[tuple]]:
+        """Per group: shape-bucketed gather/scatter maps of the full block
+        IC update sweep, from the vectorized triples."""
+        tk, pik, pjk, pij = self._build_triples()
+        L = self.pattern
+        brow = L.block_rows()
+        shape = self.sizes
+        out: list[list[tuple]] = [[] for _ in self.schedule]
+        if tk.size == 0:
+            return out
+        kg = self.group_of[tk]
+        # bucket by the (group, si, sk, sj) quadruple in one sort
+        smax = int(shape.max()) + 1
+        key = ((kg * smax + shape[brow[pik]]) * smax + shape[tk]) * smax + shape[
+            brow[pjk]
+        ]
+        order = np.argsort(key, kind="stable")
+        bounds = np.concatenate(
+            [[0], np.flatnonzero(np.diff(key[order])) + 1, [key.size]]
+        )
+        for a0, b0 in zip(bounds[:-1], bounds[1:]):
+            idx = order[a0:b0]
+            g = int(kg[idx[0]])
+            si = int(shape[brow[pik[idx[0]]]])
+            sk = int(shape[tk[idx[0]]])
+            sj = int(shape[brow[pjk[idx[0]]]])
+            flat_ik = L.boff[pik[idx], None] + np.arange(si * sk)
+            flat_jk = L.boff[pjk[idx], None] + np.arange(sj * sk)
+            dflat_k = self.dinv_off[tk[idx], None] + np.arange(sk * sk)
+            flat_ij = L.boff[pij[idx], None] + np.arange(si * sj)
+            out[g].append((si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij))
+        return out
+
+    # ------------------------------------------------------------------
+    # compiled substitution operator structures
+    # ------------------------------------------------------------------
+
+    def _build_apply_structures(self) -> None:
+        """Fix the CSR structures of the per-group substitution operators.
+
+        Mirrors the operator compilation of the numeric phase (see
+        :meth:`BlockICFactorization._build_apply_ops`) but carries 1-based
+        source *positions* through the COO->CSR canonicalization instead
+        of values, so each operator is reduced to ``(indptr, indices,
+        gather-index)`` — the numeric phase only gathers data arrays.
+        """
+        n = self.ndof
+        L = self.pattern
+        brow = L.block_rows()
+        offdiag = self._offdiag_positions()
+        shape_r = self.sizes[brow]
+        shape_c = self.sizes[L.indices]
+        row_group = self.group_of[brow[offdiag]]
+        col_group = self.group_of[L.indices[offdiag]]
+
+        loc = np.empty(n, dtype=np.int64)
+        self.group_sel: list = []  # slice (contiguous group) or index array
+        self.fwd_struct: list[tuple | None] = []
+        self.bwd_struct: list[tuple | None] = []
+        self.dinv_struct: list[tuple] = []
+        all_rows, all_cols, all_src = [], [], []
+        for g, members in enumerate(self.schedule):
+            dof = _ranges(L.offsets[members], self.sizes[members])
+            ng = dof.size
+            loc[dof] = np.arange(ng)
+            if ng and int(dof[-1] - dof[0]) + 1 == ng:
+                self.group_sel.append(slice(int(dof[0]), int(dof[0]) + ng))
+            else:
+                self.group_sel.append(dof)
+            dstruct = self._compile_dinv_struct(members, loc, ng)
+            self.dinv_struct.append(dstruct)
+            self.fwd_struct.append(
+                self._compile_blocks_struct(
+                    offdiag[row_group == g], loc, ng, shape_r, shape_c, transpose=False
+                )
+            )
+            self.bwd_struct.append(
+                self._compile_blocks_struct(
+                    offdiag[col_group == g], loc, ng, shape_r, shape_c, transpose=True
+                )
+            )
+            # re-express Dinv_g in global DOF numbering; all groups merge
+            # into the one whole-vector diagonal solve seeding the sweep
+            dptr, dind, dsrc, _shape = dstruct
+            grows = np.repeat(np.arange(ng, dtype=np.int64), np.diff(dptr))
+            all_rows.append(dof[grows])
+            all_cols.append(dof[dind])
+            all_src.append(dsrc)
+        src = (
+            np.concatenate(all_src) if all_src else np.empty(0, dtype=np.int64)
+        )
+        if src.size:
+            m = sp.csr_matrix(
+                (
+                    src.astype(np.float64) + 1.0,
+                    (np.concatenate(all_rows), np.concatenate(all_cols)),
+                ),
+                shape=(n, n),
+            )
+            m.sum_duplicates()
+            m.sort_indices()
+            if m.nnz != src.size:
+                raise AssertionError("dinv_all structure has colliding entries")
+            self.dinv_all_struct = (
+                m.indptr,
+                m.indices,
+                _positions_from_float(m.data),
+                (n, n),
+            )
+        else:
+            empty = sp.csr_matrix((n, n))
+            self.dinv_all_struct = (
+                empty.indptr,
+                empty.indices,
+                np.empty(0, dtype=np.int64),
+                (n, n),
+            )
+
+    def _compile_blocks_struct(
+        self,
+        pos: np.ndarray,
+        loc: np.ndarray,
+        ng: int,
+        shape_r: np.ndarray,
+        shape_c: np.ndarray,
+        *,
+        transpose: bool,
+    ) -> tuple | None:
+        """Structure of the scalar CSR of (optionally transposed) VBR
+        blocks at *pos*, rows renumbered into the 0..ng group-local range,
+        plus the gather index producing its data from ``L.data``."""
+        if pos.size == 0:
+            return None
+        L = self.pattern
+        rows_l, cols_l, srcs = [], [], []
+        for sr, sc, p in shape_buckets(shape_r, shape_c, pos):
+            roff = L.offsets[L.block_rows_[p]]
+            coff = L.offsets[L.indices[p]]
+            zsc = np.zeros((1, 1, sc), dtype=np.int64)
+            zsr = np.zeros((1, sr, 1), dtype=np.int64)
+            rr = roff[:, None, None] + np.arange(sr)[None, :, None] + zsc
+            cc = coff[:, None, None] + np.arange(sc)[None, None, :] + zsr
+            if transpose:
+                rows_l.append(loc[cc].reshape(-1))
+                cols_l.append(rr.reshape(-1))
+            else:
+                rows_l.append(loc[rr].reshape(-1))
+                cols_l.append(cc.reshape(-1))
+            srcs.append((L.boff[p, None] + np.arange(sr * sc)).reshape(-1))
+        src = np.concatenate(srcs)
+        m = sp.csr_matrix(
+            (
+                src.astype(np.float64) + 1.0,
+                (np.concatenate(rows_l), np.concatenate(cols_l)),
+            ),
+            shape=(ng, self.ndof),
+        )
+        m.sum_duplicates()
+        m.sort_indices()
+        if m.nnz != src.size:
+            raise AssertionError("compiled operator structure has colliding entries")
+        return (m.indptr, m.indices, _positions_from_float(m.data), (ng, self.ndof))
+
+    def _compile_dinv_struct(
+        self, members: np.ndarray, loc: np.ndarray, ng: int
+    ) -> tuple:
+        """Structure of the group's block-diagonal inverse-D operator plus
+        the gather index producing its data from the dinv array."""
+        L = self.pattern
+        rows_l, cols_l, srcs = [], [], []
+        for s, _sc, rows in shape_buckets(self.sizes, self.sizes, members):
+            base = L.offsets[rows]
+            zs = np.zeros((1, 1, s), dtype=np.int64)
+            rr = base[:, None, None] + np.arange(s)[None, :, None] + zs
+            cc = base[:, None, None] + np.arange(s)[None, None, :] + zs.transpose(
+                0, 2, 1
+            )
+            rows_l.append(loc[rr].reshape(-1))
+            cols_l.append(loc[cc].reshape(-1))
+            srcs.append((self.dinv_off[rows, None] + np.arange(s * s)).reshape(-1))
+        src = (
+            np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+        )
+        if src.size == 0:
+            empty = sp.csr_matrix((ng, ng))
+            return (empty.indptr, empty.indices, src, (ng, ng))
+        d = sp.csr_matrix(
+            (
+                src.astype(np.float64) + 1.0,
+                (np.concatenate(rows_l), np.concatenate(cols_l)),
+            ),
+            shape=(ng, ng),
+        )
+        d.sum_duplicates()
+        d.sort_indices()
+        if d.nnz != src.size:
+            raise AssertionError("dinv structure has colliding entries")
+        return (d.indptr, d.indices, _positions_from_float(d.data), (ng, ng))
+
+
+class BlockICFactorization(Preconditioner):
+    """Variable-block incomplete Cholesky preconditioner.
+
+    Parameters
+    ----------
+    a:
+        Symmetric positive definite matrix (scalar CSR or convertible).
+    supernodes:
+        Ordered partition of the DOFs into super-nodes (selective
+        blocks).  Singleton node blocks give BIC(k); contact groups give
+        SB-BIC(0); singleton DOFs give scalar IC(k).  May be None when
+        ``symbolic`` is given.
+    fill_level:
+        Level-of-fill k of the block factorization (0, 1 or 2).
+    ncolors:
+        Target multicolor count (0 = minimal greedy palette).
+    variant:
+        ``"dmod"``, ``"full"`` or ``"auto"`` (dmod for k = 0, else full).
+    sort_blocks_by_size:
+        Sort super-nodes by descending size inside each color (Fig. 22).
+    coloring:
+        ``"mc"`` (default, paper section 4.2) or ``"cmrcm"``.
+    shift:
+        Diagonal shift added to each diagonal block before inversion
+        (robustness safeguard; 0 reproduces the paper).
+    symbolic:
+        A cached :class:`ICSymbolic` from an earlier factorization of a
+        matrix with the *same sparsity pattern*: the entire pattern phase
+        is skipped and only the numeric phase runs.  ``fill_level`` and
+        ``variant`` must agree with the symbolic object; ``ncolors``,
+        ``coloring`` and ``sort_blocks_by_size`` are taken from it.
+    """
+
+    def __init__(
+        self,
+        a,
+        supernodes: list[np.ndarray] | None = None,
+        *,
+        fill_level: int = 0,
+        ncolors: int = 0,
+        variant: str = "auto",
+        sort_blocks_by_size: bool = True,
+        coloring: str = "mc",
+        shift: float = 0.0,
+        name: str | None = None,
+        symbolic: ICSymbolic | None = None,
+    ) -> None:
+        t0 = time.perf_counter()
+        a = check_square_csr(a)
+        if symbolic is None:
+            if supernodes is None:
+                raise ValueError(
+                    "supernodes are required when no symbolic object is given"
+                )
+            symbolic = ICSymbolic(
+                a,
+                supernodes,
+                fill_level=fill_level,
+                ncolors=ncolors,
+                variant=variant,
+                sort_blocks_by_size=sort_blocks_by_size,
+                coloring=coloring,
+            )
+            self.owns_symbolic = True
+            check = False  # the symbolic phase just ran on this very pattern
+        else:
+            resolved = (
+                variant
+                if variant != "auto"
+                else ("dmod" if fill_level == 0 else "full")
+            )
+            if symbolic.fill_level != fill_level or symbolic.variant != resolved:
+                raise ValueError(
+                    f"symbolic object was built for fill_level="
+                    f"{symbolic.fill_level}, variant={symbolic.variant!r}; "
+                    f"requested fill_level={fill_level}, variant={resolved!r}"
+                )
+            self.owns_symbolic = False
+            check = True
+        self.symbolic = symbolic
+        self.symbolic_seconds = symbolic.build_seconds if self.owns_symbolic else 0.0
+
+        # pattern-phase views, shared with (and owned by) the symbolic object
+        self.variant = symbolic.variant
+        self.fill_level = symbolic.fill_level
+        self.ndof = symbolic.ndof
+        self.name = name or f"BIC({symbolic.fill_level})"
+        self.coloring = symbolic.coloring
+        self.ncolors = symbolic.ncolors
+        self.sizes = symbolic.sizes
+        self.perm_dof = symbolic.perm_dof
+        self.iperm_dof = symbolic.iperm_dof
+        self.schedule = symbolic.schedule
+        self.nnz_fill = symbolic.nnz_fill
+        self._order = symbolic.order
+        self._group_of = symbolic.group_of
+        self._diag_pos = symbolic.diag_pos
+        self._dinv_off = symbolic.dinv_off
+        self._group_sel = symbolic.group_sel
+
+        # numeric state (per-instance)
+        self.L = symbolic.new_vbr()
+        self._dinv = np.zeros(symbolic.dinv_size)
+        self._rp = np.empty(self.ndof)
+        self._shift = float(shift)
+        self.numeric_setup_count = 0
+        self.refactor(a, check_pattern=check)
+        self.setup_seconds = time.perf_counter() - t0
+
     # ------------------------------------------------------------------
     # numeric factorization
     # ------------------------------------------------------------------
 
-    def _prepare_diag_storage(self) -> None:
-        self._diag_pos = self.L.indptr[1:] - 1
-        if not np.array_equal(self.L.indices[self._diag_pos], np.arange(self.L.N)):
-            raise AssertionError("diagonal block is not last in some lower row")
-        sz2 = self.sizes * self.sizes
-        self._dinv_off = np.concatenate([[0], np.cumsum(sz2)]).astype(np.int64)
-        self._dinv = np.zeros(int(self._dinv_off[-1]))
+    def refactor(
+        self,
+        a=None,
+        *,
+        shift: float | None = None,
+        check_pattern: bool = True,
+    ) -> "BlockICFactorization":
+        """Numeric-only re-factorization on the cached symbolic pattern.
+
+        Re-scatters the values of *a* (default: the matrix of the
+        previous setup — useful with ``shift=``), reruns the update
+        sweeps and re-gathers the compiled operator data arrays, without
+        redoing any pattern work (ordering, fill enumeration, schedule,
+        operator structures).  *a* must have exactly the sparsity pattern
+        the symbolic object was built from; a changed pattern raises
+        ``ValueError`` (build a new factorization instead — the
+        invalidation rule of DESIGN.md section 9).
+
+        Returns ``self`` so call sites can chain or rebind.
+        """
+        t0 = time.perf_counter()
+        if a is None:
+            a = self._a
+        else:
+            a = check_square_csr(a)
+        if check_pattern and not self.symbolic.pattern_matches(a):
+            raise ValueError(
+                "matrix sparsity pattern differs from the cached symbolic "
+                "pattern; build a new BlockICFactorization instead"
+            )
+        self._a = a
+        if shift is not None:
+            self._shift = float(shift)
+        sym = self.symbolic
+
+        # values-only scatter of A's lower triangle into L's blocks
+        self.L.data[:] = 0.0
+        self.L.data[sym.scatter_dst] = a.data[sym.scatter_src]
+
         self.breakdown_count = 0
         self.nudged_block_sizes: list[int] = []
+        if self.variant == "dmod":
+            self._factor_dmod()
+        else:
+            self._factor_full()
+        self._warn_on_pivot_nudges()
+        self._build_apply_ops()
+        # the lazy reference/apply_m structures cache gathered block
+        # *values*; drop them so they rebuild from the new factor
+        for attr in ("_fwd", "_bwd", "_diag_apply"):
+            self.__dict__.pop(attr, None)
+        self.numeric_setup_count += 1
+        _SETUP_COUNTERS["numeric"] += 1
+        self.numeric_seconds = time.perf_counter() - t0
+        return self
 
-    def _invert_group_diag(self, group: np.ndarray) -> None:
-        """Invert the (current) diagonal blocks of the given super-nodes."""
-        for s, _sc, rows in shape_buckets(self.sizes, self.sizes, group):
-            pos = self._diag_pos[rows]
-            blocks = self.L.gather(pos, s, s)
+    def _invert_group_diag(self, g: int) -> None:
+        """Invert the (current) diagonal blocks of schedule group *g*."""
+        for s, src, dst in self.symbolic.diag_buckets[g]:
+            blocks = self.L.data[src].reshape(-1, s, s)
             if self._shift:
                 blocks = blocks + self._shift * np.eye(s)
             # Guard against exactly singular pivots (breakdown): nudge them,
@@ -374,8 +923,34 @@ class BlockICFactorization(Preconditioner):
                 self.nudged_block_sizes.extend([int(s)] * int(bad.sum()))
                 blocks[bad] += np.eye(s) * (1e-8 + np.abs(blocks[bad]).max())
             inv = np.linalg.inv(blocks)
-            flat = self._dinv_off[rows, None] + np.arange(s * s)
-            self._dinv[flat.reshape(-1)] = inv.reshape(-1)
+            self._dinv[dst.reshape(-1)] = inv.reshape(-1)
+
+    def _factor_dmod(self) -> None:
+        """GeoFEM pseudo-IC(0): refactorize diagonals only.
+
+        Pure batched gather / matmul / scatter over the index maps fixed
+        in the symbolic phase — no per-call bucketing or index building.
+        """
+        data = self.L.data
+        for g in range(len(self.schedule)):
+            for si, sk, flat_ik, dflat_k, diag_dst in self.symbolic.dmod_updates[g]:
+                aik = data[flat_ik].reshape(-1, si, sk)
+                dk = self._dinv[dflat_k].reshape(-1, sk, sk)
+                upd = np.matmul(np.matmul(aik, dk), aik.transpose(0, 2, 1))
+                np.add.at(data, diag_dst.reshape(-1), -upd.reshape(-1))
+            self._invert_group_diag(g)
+
+    def _factor_full(self) -> None:
+        """True block IC(k): update off-diagonal and fill blocks too."""
+        data = self.L.data
+        for g in range(len(self.schedule)):
+            self._invert_group_diag(g)
+            for si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij in self.symbolic.full_updates[g]:
+                vik = data[flat_ik].reshape(-1, si, sk)
+                vjk = data[flat_jk].reshape(-1, sj, sk)
+                dk = self._dinv[dflat_k].reshape(-1, sk, sk)
+                upd = np.matmul(np.matmul(vik, dk), vjk.transpose(0, 2, 1))
+                np.add.at(data, flat_ij.reshape(-1), -upd.reshape(-1))
 
     @property
     def pivot_nudge_count(self) -> int:
@@ -383,7 +958,8 @@ class BlockICFactorization(Preconditioner):
         return self.breakdown_count
 
     def factorization_stats(self) -> dict:
-        """Setup-quality census: pivot nudges, fill, schedule shape."""
+        """Setup-quality census: pivot nudges, fill, schedule shape, and
+        the symbolic/numeric setup counts of this instance."""
         return {
             "name": self.name,
             "pivot_nudges": self.breakdown_count,
@@ -394,6 +970,10 @@ class BlockICFactorization(Preconditioner):
             "nnz_fill_blocks": self.nnz_fill,
             "ncolors": self.ncolors,
             "nschedule_groups": len(self.schedule),
+            "symbolic_setups": 1 if self.owns_symbolic else 0,
+            "numeric_setups": self.numeric_setup_count,
+            "symbolic_seconds": self.symbolic_seconds,
+            "numeric_seconds": self.numeric_seconds,
         }
 
     def _warn_on_pivot_nudges(self) -> None:
@@ -425,279 +1005,42 @@ class BlockICFactorization(Preconditioner):
         return self._dinv[flat].reshape(-1, s, s)
 
     def _offdiag_positions(self) -> np.ndarray:
-        p = np.arange(self.L.nnzb, dtype=np.int64)
-        return p[self.L.indices != self.L.block_rows()]
-
-    def _factor_dmod(self) -> None:
-        """GeoFEM pseudo-IC(0): refactorize diagonals only."""
-        offdiag = self._offdiag_positions()
-        brow = self.L.block_rows()
-        group_of = np.empty(self.L.N, dtype=np.int64)
-        for g, members in enumerate(self.schedule):
-            group_of[members] = g
-        row_group = group_of[brow[offdiag]]
-        shape_r = self.sizes[brow]
-        shape_c = self.sizes[self.L.indices]
-        for g, members in enumerate(self.schedule):
-            pos_g = offdiag[row_group == g]
-            for si, sk, pos in shape_buckets(shape_r, shape_c, pos_g):
-                rows = brow[pos]
-                ks = self.L.indices[pos]
-                aik = self.L.gather(pos, si, sk)
-                dk = self._gather_dinv(ks, sk)
-                upd = np.matmul(np.matmul(aik, dk), aik.transpose(0, 2, 1))
-                self.L.scatter_add(self._diag_pos[rows], si, si, -upd)
-            self._invert_group_diag(members)
-
-    def _factor_full(self) -> None:
-        """True block IC(k): update off-diagonal and fill blocks too."""
-        triples = self._build_triples()
-        group_of = np.empty(self.L.N, dtype=np.int64)
-        for g, members in enumerate(self.schedule):
-            group_of[members] = g
-        shape = self.sizes
-        for g, members in enumerate(self.schedule):
-            self._invert_group_diag(members)
-            tk, pik, pjk, pij = triples
-            sel = group_of[tk] == g
-            if not sel.any():
-                continue
-            tk_g, pik_g, pjk_g, pij_g = tk[sel], pik[sel], pjk[sel], pij[sel]
-            brow = self.L.block_rows()
-            # bucket by the (si, sk, sj) shape triple
-            smax = int(shape.max()) + 1
-            key = (
-                shape[brow[pik_g]] * smax * smax
-                + shape[tk_g] * smax
-                + shape[brow[pjk_g]]
-            )
-            order = np.argsort(key, kind="stable")
-            bounds = np.concatenate(
-                [[0], np.flatnonzero(np.diff(key[order])) + 1, [key.size]]
-            )
-            for a0, b0 in zip(bounds[:-1], bounds[1:]):
-                idx = order[a0:b0]
-                si = int(shape[brow[pik_g[idx[0]]]])
-                sk = int(shape[tk_g[idx[0]]])
-                sj = int(shape[brow[pjk_g[idx[0]]]])
-                vik = self.L.gather(pik_g[idx], si, sk)
-                vjk = self.L.gather(pjk_g[idx], sj, sk)
-                dk = self._gather_dinv(tk_g[idx], sk)
-                upd = np.matmul(np.matmul(vik, dk), vjk.transpose(0, 2, 1))
-                self.L.scatter_add(pij_g[idx], si, sj, -upd)
-
-    def _build_triples(self):
-        """All update triples (k; positions of (i,k), (j,k), (i,j)).
-
-        For each column k and each pair i >= j of rows holding a block in
-        column k, the block (i, j) — if present in the pattern — receives
-        the update ``V_ij -= V_ik D_k^{-1} V_jk^T``.
-        """
-        brow = self.L.block_rows()
-        offdiag = self._offdiag_positions()
-        # CSC-like grouping of strictly-lower positions by column.
-        order = np.argsort(self.L.indices[offdiag], kind="stable")
-        by_col = offdiag[order]
-        col_sorted = self.L.indices[by_col]
-        col_ptr = np.searchsorted(col_sorted, np.arange(self.L.N + 1))
-
-        tks, piks, pjks, pijs = [], [], [], []
-        chunk_i, chunk_j, chunk_k, chunk_pik, chunk_pjk = [], [], [], [], []
-        budget = 0
-
-        def flush():
-            nonlocal budget
-            if not chunk_i:
-                return
-            ii = np.concatenate(chunk_i)
-            jj = np.concatenate(chunk_j)
-            kk = np.concatenate(chunk_k)
-            pik = np.concatenate(chunk_pik)
-            pjk = np.concatenate(chunk_pjk)
-            pij = self.L.find_blocks(ii, jj)
-            keep = pij >= 0
-            if keep.any():
-                tks.append(kk[keep])
-                piks.append(pik[keep])
-                pjks.append(pjk[keep])
-                pijs.append(pij[keep])
-            chunk_i.clear()
-            chunk_j.clear()
-            chunk_k.clear()
-            chunk_pik.clear()
-            chunk_pjk.clear()
-            budget = 0
-
-        for k in range(self.L.N):
-            lo, hi = col_ptr[k], col_ptr[k + 1]
-            pos_k = by_col[lo:hi]  # positions of blocks (i, k), i > k
-            m = pos_k.size
-            if m == 0:
-                continue
-            rows_k = brow[pos_k]  # ascending (row-major position order)
-            a, b = np.tril_indices(m)  # i index >= j index -> rows i >= j
-            chunk_i.append(rows_k[a])
-            chunk_j.append(rows_k[b])
-            chunk_k.append(np.full(a.size, k, dtype=np.int64))
-            chunk_pik.append(pos_k[a])
-            chunk_pjk.append(pos_k[b])
-            budget += a.size
-            if budget >= 1_000_000:
-                flush()
-        flush()
-        if not tks:
-            z = np.empty(0, dtype=np.int64)
-            return z, z.copy(), z.copy(), z.copy()
-        return (
-            np.concatenate(tks),
-            np.concatenate(piks),
-            np.concatenate(pjks),
-            np.concatenate(pijs),
-        )
+        return self.symbolic._offdiag_positions()
 
     # ------------------------------------------------------------------
     # application  z = M^{-1} r
     # ------------------------------------------------------------------
 
-    def _prepare_apply(self) -> None:
-        """Compile each schedule group's substitution into native kernels.
+    def _build_apply_ops(self) -> None:
+        """Numeric data of the compiled per-group substitution kernels.
 
-        The per-bucket Python loops of :meth:`reference_apply` are folded,
-        at setup time, into three scipy CSR operators per schedule group:
-
-        - ``L_g``  (``ng x ndof``): the strictly-lower blocks whose *row*
-          lies in group g, expanded to scalars — one ``csr @ y`` replaces
-          the gather/batched-matmul/scatter-add forward bucket loop;
-        - ``U_g``  (``ng x ndof``): the transposed strictly-lower blocks
-          whose *column* lies in group g (the rows of ``L^T`` owned by g);
-        - ``Dinv_g`` (``ng x ng``): the block-diagonal of factorized
-          inverse diagonal blocks, handling all block sizes of the group
-          in a single matvec (no per-shape dispatch).
-
-        Columns of ``L_g`` only reference earlier groups and columns of
-        ``U_g`` only later groups, so the group sweep needs no masking,
-        and ``Dinv_g`` is folded into the substitution operators at setup
-        (``Dinv_g @ L_g``), leaving one native matvec per group in each
-        sweep.  Work vectors are preallocated here and reused by every
-        :meth:`apply` call (allocation-free hot path).
+        The CSR structures were fixed once in the symbolic phase (see
+        :meth:`ICSymbolic._build_apply_structures`); here only the value
+        arrays are gathered and the per-group fold ``Dinv_g @ L_g`` /
+        ``Dinv_g @ L_g^T`` is recomputed, leaving one native matvec per
+        group in each sweep.  Work vectors are preallocated at
+        construction and reused by every :meth:`apply` call
+        (allocation-free hot path).
         """
-        n = self.ndof
-        L = self.L
-        brow = L.block_rows()
-        offdiag = self._offdiag_positions()
-        shape_r = self.sizes[brow]
-        shape_c = self.sizes[L.indices]
-        group_of = np.empty(L.N, dtype=np.int64)
-        for g, members in enumerate(self.schedule):
-            group_of[members] = g
-        self._group_of = group_of
-        row_group = group_of[brow[offdiag]]
-        col_group = group_of[L.indices[offdiag]]
-
-        loc = np.empty(n, dtype=np.int64)
-        self._group_sel: list = []  # slice (contiguous group) or index array
+        sym = self.symbolic
         self._fwd_ops: list[sp.csr_matrix | None] = []
         self._bwd_ops: list[sp.csr_matrix | None] = []
-        dinv_parts: list[sp.csr_matrix] = []
-        for g, members in enumerate(self.schedule):
-            dof = _ranges(L.offsets[members], self.sizes[members])
-            ng = dof.size
-            loc[dof] = np.arange(ng)
-            if ng and int(dof[-1] - dof[0]) + 1 == ng:
-                self._group_sel.append(slice(int(dof[0]), int(dof[0]) + ng))
-            else:
-                self._group_sel.append(dof)
-            dinv_g = self._compile_dinv(members, loc, ng)
-            lg = self._compile_blocks(
-                offdiag[row_group == g], loc, ng, shape_r, shape_c, transpose=False
-            )
-            ug = self._compile_blocks(
-                offdiag[col_group == g], loc, ng, shape_r, shape_c, transpose=True
-            )
-            self._fwd_ops.append(None if lg is None else _sorted_csr(dinv_g @ lg))
-            self._bwd_ops.append(None if ug is None else _sorted_csr(dinv_g @ ug))
-            # re-express Dinv_g in global DOF numbering; all groups merge
-            # into the one whole-vector diagonal solve seeding the sweep
-            dg = dinv_g.tocoo()
-            dinv_parts.append((dof[dg.row], dof[dg.col], dg.data))
-        self._dinv_all = _sorted_csr(
-            sp.csr_matrix(
-                (
-                    np.concatenate([p[2] for p in dinv_parts]),
-                    (
-                        np.concatenate([p[0] for p in dinv_parts]),
-                        np.concatenate([p[1] for p in dinv_parts]),
-                    ),
-                ),
-                shape=(n, n),
-            )
-            if dinv_parts
-            else sp.csr_matrix((n, n))
-        )
-        self._rp = np.empty(n)
-
-    def _compile_blocks(
-        self,
-        pos: np.ndarray,
-        loc: np.ndarray,
-        ng: int,
-        shape_r: np.ndarray,
-        shape_c: np.ndarray,
-        *,
-        transpose: bool,
-    ) -> sp.csr_matrix | None:
-        """Scalar CSR of (optionally transposed) VBR blocks at *pos*,
-        with rows renumbered into the 0..ng group-local range."""
-        if pos.size == 0:
-            return None
-        rows_l, cols_l, vals = [], [], []
-        for sr, sc, p in shape_buckets(shape_r, shape_c, pos):
-            blocks = self.L.gather(p, sr, sc)
-            roff = self.L.offsets[self.L.block_rows_[p]]
-            coff = self.L.offsets[self.L.indices[p]]
-            zsc = np.zeros((1, 1, sc), dtype=np.int64)
-            zsr = np.zeros((1, sr, 1), dtype=np.int64)
-            rr = roff[:, None, None] + np.arange(sr)[None, :, None] + zsc
-            cc = coff[:, None, None] + np.arange(sc)[None, None, :] + zsr
-            if transpose:
-                rows_l.append(loc[cc].reshape(-1))
-                cols_l.append(rr.reshape(-1))
-            else:
-                rows_l.append(loc[rr].reshape(-1))
-                cols_l.append(cc.reshape(-1))
-            vals.append(blocks.reshape(-1))
-        m = sp.csr_matrix(
-            (
-                np.concatenate(vals),
-                (np.concatenate(rows_l), np.concatenate(cols_l)),
-            ),
-            shape=(ng, self.ndof),
-        )
-        m.sum_duplicates()
-        m.sort_indices()
-        return m
-
-    def _compile_dinv(self, members: np.ndarray, loc: np.ndarray, ng: int) -> sp.csr_matrix:
-        """Block-diagonal CSR of the group's inverted diagonal blocks."""
-        rows_l, cols_l, vals = [], [], []
-        for s, _sc, rows in shape_buckets(self.sizes, self.sizes, members):
-            base = self.L.offsets[rows]
-            zs = np.zeros((1, 1, s), dtype=np.int64)
-            rr = base[:, None, None] + np.arange(s)[None, :, None] + zs
-            cc = base[:, None, None] + np.arange(s)[None, None, :] + zs.transpose(0, 2, 1)
-            rows_l.append(loc[rr].reshape(-1))
-            cols_l.append(loc[cc].reshape(-1))
-            vals.append(self._gather_dinv(rows, s).reshape(-1))
-        d = sp.csr_matrix(
-            (
-                np.concatenate(vals),
-                (np.concatenate(rows_l), np.concatenate(cols_l)),
-            ),
-            shape=(ng, ng),
-        )
-        d.sum_duplicates()
-        d.sort_indices()
-        return d
+        for g in range(len(self.schedule)):
+            dptr, dind, dsrc, dshape = sym.dinv_struct[g]
+            dinv_g = sp.csr_matrix((self._dinv[dsrc], dind, dptr), shape=dshape)
+            for structs, ops in (
+                (sym.fwd_struct, self._fwd_ops),
+                (sym.bwd_struct, self._bwd_ops),
+            ):
+                st = structs[g]
+                if st is None:
+                    ops.append(None)
+                else:
+                    ptr, ind, src, shape = st
+                    mat = sp.csr_matrix((self.L.data[src], ind, ptr), shape=shape)
+                    ops.append(_sorted_csr(dinv_g @ mat))
+        aptr, aind, asrc, ashape = sym.dinv_all_struct
+        self._dinv_all = sp.csr_matrix((self._dinv[asrc], aind, aptr), shape=ashape)
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``z = M^{-1} r`` via the compiled per-group CSR kernels.
@@ -731,7 +1074,7 @@ class BlockICFactorization(Preconditioner):
     def _prepare_reference(self) -> None:
         """Pre-gather per-group shape buckets for the bucketed reference
         substitution (built lazily: only tests/benches and
-        :meth:`apply_m` need it)."""
+        :meth:`apply_m` need it; invalidated by :meth:`refactor`)."""
         if hasattr(self, "_fwd"):
             return
         brow = self.L.block_rows()

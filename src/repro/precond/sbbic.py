@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.selective_blocking import selective_block_supernodes
-from repro.precond.icfact import BlockICFactorization
+from repro.precond.icfact import BlockICFactorization, ICSymbolic
 
 
 def sb_bic0(
@@ -26,6 +26,7 @@ def sb_bic0(
     variant: str = "auto",
     sort_blocks_by_size: bool = True,
     shift: float = 0.0,
+    symbolic: ICSymbolic | None = None,
 ) -> BlockICFactorization:
     """Selective-blocking block IC(0) preconditioner.
 
@@ -39,13 +40,21 @@ def sb_bic0(
     sort_blocks_by_size:
         Sort selective blocks by size inside each color (paper Fig. 22);
         disabling it reproduces the "without reordering" case of Fig. 28.
+    symbolic:
+        Cached pattern phase from an earlier factorization of a matrix
+        with the same sparsity pattern (and the same contact groups);
+        the super-node construction and all pattern work are skipped.
     """
     ndof = a.shape[0]
     if ndof % b:
         raise ValueError(f"matrix dimension {ndof} is not a multiple of block size {b}")
     if n_nodes is None:
         n_nodes = ndof // b
-    supernodes = selective_block_supernodes(contact_groups, n_nodes, b=b)
+    supernodes = (
+        None
+        if symbolic is not None
+        else selective_block_supernodes(contact_groups, n_nodes, b=b)
+    )
     name = "SB-BIC(0)" if shift == 0.0 else f"SB-BIC(0)+shift{shift:g}"
     return BlockICFactorization(
         a,
@@ -56,4 +65,5 @@ def sb_bic0(
         sort_blocks_by_size=sort_blocks_by_size,
         shift=shift,
         name=name,
+        symbolic=symbolic,
     )

@@ -61,6 +61,13 @@ def default_ladder(
     and diagonal scaling as the rung that cannot break.  Matrices whose
     dimension is not a multiple of *b* use scalar IC(0) rungs instead of
     BIC(0).
+
+    The BIC-family rungs (plain + every shifted retry) share one level-0
+    symbolic pattern phase: escalating to a shifted rung refactors the
+    previously built factorization with the new ``shift`` (numeric-only),
+    or — if the plain rung never got built — runs the numeric phase on
+    the cached symbolic object.  Only the first BIC-family rung reached
+    ever pays for ordering/pattern/schedule construction.
     """
     a = sp.csr_matrix(a)
     ndof = a.shape[0]
@@ -72,26 +79,35 @@ def default_ladder(
             FallbackStage("SB-BIC(0)", lambda: sb_bic0(a, groups, b=b))
         )
     blocked = ndof % b == 0
-    if blocked:
-        stages.append(FallbackStage("BIC(0)", lambda: bic(a, fill_level=0, b=b)))
-    else:
-        stages.append(FallbackStage("IC(0) scalar", lambda: scalar_ic0(a)))
-    for alpha in shifts:
-        shift = alpha * dbar
+
+    cache: dict = {}  # shared BIC-family symbolic + last factorization
+
+    def bic_rung(shift: float, label: str):
+        m = cache.get("m")
+        if m is not None:
+            # same matrix, same pattern — only the pivot shift changed
+            m.refactor(shift=shift)
+            m.name = label
+            return m
         if blocked:
-            stages.append(
-                FallbackStage(
-                    f"BIC(0)+shift{alpha:g}",
-                    lambda shift=shift: bic(a, fill_level=0, b=b, shift=shift),
-                )
-            )
+            m = bic(a, fill_level=0, b=b, shift=shift, symbolic=cache.get("sym"))
         else:
-            stages.append(
-                FallbackStage(
-                    f"IC(0)+shift{alpha:g}",
-                    lambda shift=shift: scalar_ic0(a, shift=shift),
-                )
+            m = scalar_ic0(a, shift=shift, symbolic=cache.get("sym"))
+        m.name = label
+        cache["sym"] = m.symbolic
+        cache["m"] = m
+        return m
+
+    plain = "BIC(0)" if blocked else "IC(0) scalar"
+    stages.append(FallbackStage(plain, lambda: bic_rung(0.0, plain)))
+    for alpha in shifts:
+        label = f"{'BIC(0)' if blocked else 'IC(0)'}+shift{alpha:g}"
+        stages.append(
+            FallbackStage(
+                label,
+                lambda shift=alpha * dbar, label=label: bic_rung(shift, label),
             )
+        )
     stages.append(FallbackStage("Diagonal", lambda: DiagonalScaling(a)))
     return stages
 

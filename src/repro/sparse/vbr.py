@@ -160,6 +160,23 @@ class VBRMatrix:
         flat = self.boff[pos] + li * self.sizes[bj] + lj
         np.add.at(self.data, flat, vals)
 
+    def empty_like(self) -> "VBRMatrix":
+        """Zero-valued VBR sharing this matrix's structure arrays.
+
+        Pattern arrays (sizes, offsets, indptr, indices, boff) are shared
+        by reference — they are immutable by convention — so a symbolic
+        object can hand out per-factorization value storage without
+        duplicating any pattern work or memory.
+        """
+        return VBRMatrix(
+            sizes=self.sizes,
+            offsets=self.offsets,
+            indptr=self.indptr,
+            indices=self.indices,
+            boff=self.boff,
+            data=np.zeros_like(self.data),
+        )
+
     # -- structure -------------------------------------------------------
 
     @property
