@@ -1,0 +1,56 @@
+"""Checkpoint overhead gate: in-memory CG snapshots must cost <= 5%.
+
+The acceptance criterion of the checkpoint layer: running
+:func:`parallel_cg` with the default checkpoint interval on the kernel
+benchmark model may not add more than 5% wall clock over the
+checkpoint-free solve.  Timed as best-of-N (min over repeats of the
+solver-reported solve time) so scheduler noise does not flake the gate.
+"""
+
+import pytest
+
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+from repro.parallel import DistributedSystem, parallel_cg, partition_nodes_rcb
+from repro.precond import bic
+from repro.resilience.checkpoint import DEFAULT_CHECKPOINT_INTERVAL
+
+REPEATS = 5
+MAX_OVERHEAD = 1.05
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_contact_problem(simple_block_model(6, 6, 4, 6, 6), penalty=1e6)
+
+
+def _best_solve_seconds(problem, interval):
+    part = partition_nodes_rcb(problem.mesh.coords, 4)
+    best = float("inf")
+    iters = None
+    for _ in range(REPEATS):
+        system = DistributedSystem.from_global(
+            problem.a, problem.b, part, lambda sub, nodes: bic(sub, fill_level=0)
+        )
+        res = parallel_cg(system, checkpoint_interval=interval)
+        assert res.converged
+        if iters is None:
+            iters = res.iterations
+        else:
+            assert res.iterations == iters  # same trajectory either way
+        best = min(best, res.solve_seconds)
+    return best
+
+
+def test_bench_checkpoint_overhead_within_5_percent(problem):
+    base = _best_solve_seconds(problem, 0)
+    ckpt = _best_solve_seconds(problem, DEFAULT_CHECKPOINT_INTERVAL)
+    ratio = ckpt / base
+    print(
+        f"\ncheckpoint overhead: base {base:.4f}s, "
+        f"interval={DEFAULT_CHECKPOINT_INTERVAL} {ckpt:.4f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"checkpointing at interval {DEFAULT_CHECKPOINT_INTERVAL} costs "
+        f"{(ratio - 1) * 100:.1f}% (> {(MAX_OVERHEAD - 1) * 100:.0f}% budget)"
+    )

@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Checkpointed fault-tolerance sweep: every injected failure must recover.
+
+Where ``fault_sweep.py`` checks that injected faults are *detected*, this
+sweep checks the stronger contract of the checkpoint/recovery layer: each
+failure mode, across preconditioners and seeds, must **recover and finish
+with the fault-free answer** (relative error <= 1e-8; the in-memory paths
+are bit-exact by construction).  Three failure legs:
+
+``rank_kill``
+    A :class:`~repro.resilience.faults.DeadRankComm` kills one domain
+    mid-solve (its halo state is destroyed).  The heartbeat probe raises
+    :class:`~repro.resilience.taxonomy.RankFailure`; :func:`parallel_cg`
+    rebuilds the dead rank from its durable local data
+    (``DistributedSystem.enable_recovery``) with a numeric-only refactor
+    on the cached symbolic pattern, rolls back to the last in-memory
+    checkpoint, and resumes — local failure, local recovery.
+
+``rollback``
+    A transient :class:`~repro.resilience.faults.FaultyComm` fault
+    (nan / bitflip) corrupts a halo exchange.  The owner/ghost probe
+    detects it; instead of aborting, the solver rolls back to the last
+    checkpoint and re-runs the window.
+
+``process_kill``
+    The whole ALM outer loop is killed after a journaled cycle
+    (``solve_nonlinear_contact`` with ``checkpoint_path``), then re-run
+    from the durable journal; the resumed run must reproduce the
+    uninterrupted run bit-for-bit.
+
+Any miss is a non-zero exit.  ``--quick`` shrinks the matrix for CI
+(also exercised by ``tests/test_failure_sweep.py``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/failure_sweep.py            # full sweep
+    PYTHONPATH=src python scripts/failure_sweep.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+from repro.fem.nonlinear import solve_nonlinear_contact
+from repro.parallel import DistributedSystem, parallel_cg, partition_nodes_rcb
+from repro.precond import DiagonalScaling, bic, sb_bic0
+from repro.precond.localized import restrict_groups
+from repro.resilience import (
+    DeadRankComm,
+    FailureReason,
+    FaultSpec,
+    FaultyComm,
+    SolveReport,
+)
+
+REL_TOL = 1e-8
+
+
+class SimulatedKill(Exception):
+    """Stands in for SIGKILL in the process-restart leg."""
+
+
+def _precond_factories(problem):
+    """Name -> per-domain preconditioner factory (parallel_cg signature)."""
+    n_nodes = problem.mesh.n_nodes
+    groups = problem.groups
+    return {
+        "Diagonal": lambda sub, nodes: DiagonalScaling(sub),
+        "BIC(0)": lambda sub, nodes: bic(sub, fill_level=0),
+        "SB-BIC(0)": lambda sub, nodes: sb_bic0(
+            sub, restrict_groups(groups, nodes, n_nodes)
+        ),
+    }
+
+
+def _relerr(x, ref):
+    denom = np.linalg.norm(ref) or 1.0
+    return float(np.linalg.norm(x - ref) / denom)
+
+
+def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
+    """Execute the three-leg matrix; returns a JSON-printable summary."""
+    if quick:
+        mesh = simple_block_model(3, 3, 2, 3, 3)
+        seeds = (7,)
+        kill_slots = (5,)
+    else:
+        mesh = simple_block_model(4, 4, 3, 4, 4)
+        seeds = (7, 23, 101)
+        kill_slots = (2, 5, 11)
+    problem = build_contact_problem(mesh, penalty=1e4)
+    part = partition_nodes_rcb(mesh.coords, ndomains)
+    factories = _precond_factories(problem)
+
+    # fault-free reference per preconditioner (parallel_cg is deterministic)
+    refs = {}
+    for pname, factory in factories.items():
+        system = DistributedSystem.from_global(problem.a, problem.b, part, factory)
+        refs[pname] = parallel_cg(system)
+
+    runs = []
+
+    # leg 1: rank kill + local-failure-local-recovery ------------------
+    for pname, factory in factories.items():
+        for seed in seeds:
+            for slot in kill_slots:
+                victim = int(np.random.default_rng(seed).integers(ndomains))
+                system = DistributedSystem.from_global(
+                    problem.a, problem.b, part, factory
+                )
+                system.enable_recovery()
+                system.comm = DeadRankComm(
+                    system.domains, victim=victim, kill_at_exchange=slot
+                )
+                report = SolveReport()
+                res = parallel_cg(
+                    system, checkpoint_interval=4, report=report
+                )
+                err = _relerr(res.x, refs[pname].x)
+                recovered = (
+                    res.converged
+                    and len(system.comm.kills) == 1
+                    and len(system.comm.revivals) == 1
+                    and err <= REL_TOL
+                )
+                runs.append(
+                    {
+                        "leg": "rank_kill",
+                        "precond": pname,
+                        "seed": seed,
+                        "slot": slot,
+                        "victim": victim,
+                        "recovered": bool(recovered),
+                        "rel_err": err,
+                        "detections": len(report.detections()),
+                    }
+                )
+
+    # leg 2: transient fault -> checkpoint rollback --------------------
+    for pname, factory in factories.items():
+        for seed in seeds:
+            for kind in ("nan", "bitflip"):
+                system = DistributedSystem.from_global(
+                    problem.a, problem.b, part, factory
+                )
+                system.comm = FaultyComm(
+                    system.domains,
+                    [FaultSpec(exchange=kill_slots[0], kind=kind)],
+                    seed=seed,
+                )
+                report = SolveReport()
+                res = parallel_cg(system, checkpoint_interval=4, report=report)
+                err = _relerr(res.x, refs[pname].x)
+                recovered = (
+                    res.converged
+                    and len(system.comm.injected) == 1
+                    and err <= REL_TOL
+                    and any(e.kind == "recover" for e in report.events)
+                )
+                runs.append(
+                    {
+                        "leg": "rollback",
+                        "precond": pname,
+                        "seed": seed,
+                        "kind": kind,
+                        "recovered": bool(recovered),
+                        "rel_err": err,
+                    }
+                )
+
+    # leg 3: process kill + durable ALM restart ------------------------
+    # the ALM loop needs the penalty-FREE stiffness (it adds its own)
+    from repro.fem.assembly import assemble_stiffness
+    from repro.fem.bc import all_dofs, apply_dirichlet, component_dofs, surface_load
+
+    k = assemble_stiffness(mesh)
+    f = surface_load(mesh, mesh.node_sets["zmax"], np.array([0.0, 0.0, -1.0]))
+    fixed = np.unique(
+        np.concatenate(
+            [
+                all_dofs(mesh.node_sets["zmin"]),
+                component_dofs(mesh.node_sets["xmin"], 0),
+                component_dofs(mesh.node_sets["ymin"], 1),
+            ]
+        )
+    )
+    a_free, b_free = apply_dirichlet(k.to_csr(), f, fixed)
+    fac = {
+        "Diagonal": lambda a: DiagonalScaling(a),
+        "BIC(0)": lambda a: bic(a, fill_level=0),
+        "SB-BIC(0)": lambda a: sb_bic0(a, problem.groups, n_nodes=mesh.n_nodes),
+    }
+    nl_args = (a_free, b_free, problem.groups, mesh.n_nodes, 1e4)
+    for pname, factory in fac.items():
+        ref_nl = solve_nonlinear_contact(*nl_args, factory, max_cycles=30)
+        for kill_cycle in (1,) if quick else (1, 2):
+            with tempfile.TemporaryDirectory() as td:
+                ck = Path(td) / "alm.journal"
+
+                def killer(cycle, info, *, at=kill_cycle):
+                    if cycle == at:
+                        raise SimulatedKill
+
+                killed = False
+                try:
+                    solve_nonlinear_contact(
+                        *nl_args,
+                        factory,
+                        max_cycles=30,
+                        checkpoint_path=ck,
+                        cycle_callback=killer,
+                    )
+                except SimulatedKill:
+                    killed = True
+                res_nl = solve_nonlinear_contact(
+                    *nl_args, factory, max_cycles=30, checkpoint_path=ck
+                )
+                err = _relerr(res_nl.u, ref_nl.u)
+                recovered = (
+                    killed
+                    and res_nl.converged == ref_nl.converged
+                    and res_nl.cycles == ref_nl.cycles
+                    and res_nl.resumed_from_cycle == kill_cycle
+                    and err <= REL_TOL
+                )
+                runs.append(
+                    {
+                        "leg": "process_kill",
+                        "precond": pname,
+                        "kill_cycle": kill_cycle,
+                        "killed": bool(killed),
+                        "recovered": bool(recovered),
+                        "rel_err": err,
+                        "bit_exact": bool(np.array_equal(res_nl.u, ref_nl.u)),
+                    }
+                )
+
+    n_runs = len(runs)
+    n_rec = sum(r["recovered"] for r in runs)
+    return {
+        "runs": runs,
+        "n_runs": n_runs,
+        "recovery_rate": n_rec / n_runs if n_runs else 0.0,
+        "max_rel_err": max((r["rel_err"] for r in runs), default=0.0),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small CI-smoke matrix")
+    ap.add_argument("--ndomains", type=int, default=3)
+    ap.add_argument("--json", action="store_true", help="dump full JSON summary")
+    args = ap.parse_args(argv)
+
+    summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    by_leg: dict[str, list] = {}
+    for r in summary["runs"]:
+        by_leg.setdefault(r["leg"], []).append(r)
+    for leg, rs in by_leg.items():
+        ok = sum(r["recovered"] for r in rs)
+        print(f"  {leg}: {ok}/{len(rs)} recovered")
+    print(
+        f"failure sweep: {summary['n_runs']} runs, "
+        f"recovery rate {summary['recovery_rate']:.0%}, "
+        f"max rel err {summary['max_rel_err']:.3e}"
+    )
+    if summary["recovery_rate"] < 1.0:
+        missed = [r for r in summary["runs"] if not r["recovered"]]
+        print(f"MISSED RECOVERIES ({len(missed)}):")
+        for r in missed:
+            print(f"  {r}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

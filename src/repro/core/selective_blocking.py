@@ -10,22 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validate import check_index_array
+from repro.utils.validate import check_contact_groups
 
 
 def validate_groups(groups: list[np.ndarray], n_nodes: int) -> list[np.ndarray]:
-    """Check contact groups are disjoint node sets; returns them as int64."""
-    seen = np.zeros(n_nodes, dtype=bool)
-    out = []
-    for g, nodes in enumerate(groups):
-        nodes = check_index_array(np.asarray(nodes, dtype=np.int64), n_nodes, f"group {g}")
-        if nodes.size < 2:
-            raise ValueError(f"contact group {g} has fewer than 2 nodes")
-        if seen[nodes].any():
-            raise ValueError(f"contact group {g} overlaps an earlier group")
-        seen[nodes] = True
-        out.append(nodes)
-    return out
+    """Check contact groups are disjoint, duplicate-free node sets.
+
+    Thin alias of :func:`repro.utils.validate.check_contact_groups`,
+    kept as the historical entry point every consumer imports."""
+    return check_contact_groups(groups, n_nodes)
 
 
 def selective_blocks_from_groups(

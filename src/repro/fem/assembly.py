@@ -13,6 +13,7 @@ from repro.fem.hex8 import hex8_stiffness
 from repro.fem.material import IsotropicElastic
 from repro.fem.mesh import Mesh
 from repro.sparse.bcsr import BCSRMatrix
+from repro.utils.validate import check_finite_coords
 
 
 def assemble_stiffness(
@@ -28,6 +29,7 @@ def assemble_stiffness(
         ``mesh.material_ids`` values to materials.  Defaults to the
         paper's non-dimensional ``E = 1.0, nu = 0.3``.
     """
+    check_finite_coords(mesh.coords)
     if materials is None:
         materials = IsotropicElastic()
     ne = mesh.n_elem

@@ -25,6 +25,7 @@ optional preconditioner fallback ladder
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -33,6 +34,7 @@ import scipy.sparse as sp
 from repro.fem.contact import constraint_matrix
 from repro.fem.mesh import Mesh
 from repro.precond.base import Preconditioner
+from repro.resilience.checkpoint import AlmJournal, fingerprint_arrays
 from repro.sparse.patterns import csr_position_map, csr_union_pattern
 from repro.resilience.taxonomy import FailureReason, SolveReport
 from repro.solvers.cg import CGResult, cg_solve
@@ -61,6 +63,10 @@ class NonlinearContactResult:
     penalty: float = 0.0
     """The penalty actually in force at the end (after any back-offs)."""
     penalty_backoffs: int = 0
+    penalty_trail: list[float] = field(default_factory=list)
+    """Penalty in force at each completed outer cycle."""
+    resumed_from_cycle: int = 0
+    """> 0 when the run resumed from a checkpoint journal at that cycle."""
     report: SolveReport | None = None
 
     @property
@@ -84,6 +90,9 @@ def solve_nonlinear_contact(
     max_penalty_backoffs: int = 2,
     stagnation_window: int = 0,
     ladder_factory: Callable[[sp.csr_matrix], list] | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+    cycle_callback: Callable[[int, dict], None] | None = None,
     report: SolveReport | None = None,
 ) -> NonlinearContactResult:
     """Augmented-Lagrange iteration for tied contact.
@@ -117,10 +126,27 @@ def solve_nonlinear_contact(
         the augmented matrix; inner solves then go through
         :class:`~repro.resilience.resilient.ResilientSolver`, and only a
         failure of the *whole* ladder triggers penalty back-off.
+    checkpoint_path / checkpoint_every:
+        Durable restart (DESIGN.md section 10): when a path is given,
+        the outer-loop state (u, multipliers, penalty trail, event
+        report) is journaled there every *checkpoint_every* cycles via
+        the atomic, checksummed container of :mod:`repro.io.journal`.
+        A rerun with the same inputs and path resumes from the last
+        completed cycle and continues bit-for-bit; a journal that is
+        corrupt, truncated, or belongs to different inputs raises
+        :class:`~repro.io.journal.JournalError` instead of resuming
+        wrongly.  The file is left in place on convergence (a resumed
+        finished run returns immediately).
+    cycle_callback:
+        Optional ``callback(cycle, info)`` invoked after every completed
+        outer cycle (after the journal write, so an exception raised by
+        the callback — e.g. a simulated kill in the failure sweep —
+        leaves a valid checkpoint behind).  ``info`` carries
+        ``penalty``, ``gap_norm``, ``cg_iterations`` and ``backoffs``.
     report:
         Optional shared :class:`SolveReport`; all inner-solve and ALM
         events land in it (one is created when omitted, reachable via
-        ``result.report``).
+        ``result.report``).  On resume the journaled trail is prepended.
 
     Notes
     -----
@@ -177,17 +203,99 @@ def solve_nonlinear_contact(
             report=report,
         )
 
-    a_aug = build_system(penalty)
-    m = precond_factory(a_aug) if ladder_factory is None else None
+    journal = None
+    state = None
+    if checkpoint_path is not None:
+        # the fingerprint binds the journal to this exact run: system
+        # arrays, constraints, and every parameter that steers the loop
+        fingerprint = fingerprint_arrays(
+            a_free.data,
+            a_free.indices,
+            a_free.indptr,
+            np.asarray(b, dtype=np.float64),
+            *groups,
+            n_nodes,
+            penalty,
+            constraint_tol,
+            max_cycles,
+            cg_eps,
+            cg_max_iter,
+            penalty_backoff,
+            max_penalty_backoffs,
+            stagnation_window,
+        )
+        journal = AlmJournal(checkpoint_path, fingerprint)
+        state = journal.load()  # raises JournalError on a bad/foreign file
 
     lam = np.zeros(c.shape[0])
     u = np.zeros(a_free.shape[0])
     cg_iters: list[int] = []
+    penalty_trail: list[float] = []
     converged = False
     gap_norm = np.inf
     backoffs = 0
     cycles = 0
-    while cycles < max_cycles:
+    resumed_from = 0
+    if state is not None:
+        u = state["u"].copy()
+        lam = state["lam"].copy()
+        penalty = state["penalty"]
+        backoffs = state["backoffs"]
+        cycles = state["cycle"]
+        cg_iters = state["cg_iterations"]
+        penalty_trail = state["penalty_trail"]
+        gap_norm = state["gap_norm"]
+        converged = state["converged"]
+        resumed_from = cycles
+        report.events[:0] = state["report"].events
+        report.record(
+            "info",
+            "alm",
+            iteration=cycles,
+            detail=f"resumed from checkpoint {journal.path} at cycle {cycles}"
+            + (" (already converged)" if converged else ""),
+        )
+
+    a_aug = build_system(penalty)
+    m = (
+        precond_factory(a_aug)
+        if ladder_factory is None and not converged
+        else None
+    )
+
+    def write_checkpoint(force: bool = False) -> None:
+        if journal is None:
+            return
+        if not force and cycles % checkpoint_every != 0:
+            return
+        journal.save(
+            cycle=cycles,
+            u=u,
+            lam=lam,
+            penalty=penalty,
+            backoffs=backoffs,
+            cg_iterations=cg_iters,
+            penalty_trail=penalty_trail,
+            gap_norm=gap_norm,  # json carries Infinity fine pre-first-cycle
+            converged=converged,
+            report=report,
+        )
+
+    def end_of_cycle(force_checkpoint: bool = False) -> None:
+        write_checkpoint(force_checkpoint)
+        if cycle_callback is not None:
+            cycle_callback(
+                cycles,
+                {
+                    "penalty": penalty,
+                    "gap_norm": gap_norm,
+                    "cg_iterations": list(cg_iters),
+                    "backoffs": backoffs,
+                    "converged": converged,
+                },
+            )
+
+    while not converged and cycles < max_cycles:
         cycles += 1
         rhs = b - c.T @ lam
         res = inner_solve(a_aug, m, rhs, u)
@@ -226,11 +334,14 @@ def solve_nonlinear_contact(
                 else:
                     m = precond_factory(a_aug)
             lam = lam * penalty_backoff  # keep the multiplier scale consistent
+            penalty_trail.append(penalty)
+            end_of_cycle()
             continue
         u = res.x
         gap = c @ u
         unorm = max(float(np.linalg.norm(u)), 1e-30)
         gap_norm = float(np.linalg.norm(gap)) / unorm
+        penalty_trail.append(penalty)
         if gap_norm <= constraint_tol:
             converged = True
             if backoffs:
@@ -241,8 +352,10 @@ def solve_nonlinear_contact(
                     detail=f"converged at penalty {penalty:.3e} after "
                     f"{backoffs} back-off(s)",
                 )
+            end_of_cycle(force_checkpoint=True)
             break
         lam = lam + penalty * gap
+        end_of_cycle()
 
     return NonlinearContactResult(
         u=u,
@@ -252,5 +365,7 @@ def solve_nonlinear_contact(
         cg_iterations=cg_iters,
         penalty=penalty,
         penalty_backoffs=backoffs,
+        penalty_trail=penalty_trail,
+        resumed_from_cycle=resumed_from,
         report=report,
     )

@@ -3,10 +3,23 @@
 GeoFEM works from text mesh files and per-PE *distributed local data*
 files produced by its partitioner (paper section 2.1).  This package
 provides equivalents so meshes and partitions can be saved, inspected
-and reloaded — the workflow a downstream user of the real system has.
+and reloaded — the workflow a downstream user of the real system has —
+plus the durable checkpoint journal (:mod:`repro.io.journal`) that the
+fault-tolerance layer resumes killed runs from.
 """
 
 from repro.io.meshio import read_mesh, write_mesh
-from repro.io.distio import read_local_data, write_local_data
+from repro.io.distio import read_local_data, read_local_domain, write_local_data
+from repro.io.journal import JOURNAL_VERSION, JournalError, read_journal, write_journal
 
-__all__ = ["read_mesh", "write_mesh", "read_local_data", "write_local_data"]
+__all__ = [
+    "read_mesh",
+    "write_mesh",
+    "read_local_data",
+    "read_local_domain",
+    "write_local_data",
+    "JournalError",
+    "JOURNAL_VERSION",
+    "read_journal",
+    "write_journal",
+]

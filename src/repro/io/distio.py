@@ -45,33 +45,45 @@ def write_local_data(domains: list[LocalDomain], directory: str | Path) -> list[
     return paths
 
 
+def read_local_domain(directory: str | Path, rank: int) -> LocalDomain:
+    """Read one domain's local data file — the recovery path's loader.
+
+    A replacement process standing in for a dead rank re-reads exactly
+    this file (its own partitioner output / assembly data) to rebuild its
+    matrix rows and communication tables without touching any other rank.
+    """
+    return _read_one(Path(directory) / f"domain.{rank}.npz")
+
+
+def _read_one(path: Path) -> LocalDomain:
+    with np.load(path) as z:
+        a_local = sp.csr_matrix(
+            (z["a_data"], z["a_indices"], z["a_indptr"]),
+            shape=tuple(z["a_shape"]),
+        )
+        dom = LocalDomain(
+            rank=int(z["rank"][0]),
+            internal_nodes=z["internal_nodes"],
+            external_nodes=z["external_nodes"],
+            a_local=a_local,
+            b=int(z["b"][0]),
+        )
+        dom.recv_tables = {
+            int(n): z[f"recv_{int(n)}"] for n in z["neighbors_recv"]
+        }
+        dom.send_tables = {
+            int(n): z[f"send_{int(n)}"] for n in z["neighbors_send"]
+        }
+    return dom
+
+
 def read_local_data(directory: str | Path) -> list[LocalDomain]:
     """Read every ``domain.<rank>.npz`` in *directory*, ordered by rank."""
     directory = Path(directory)
     files = sorted(directory.glob("domain.*.npz"), key=lambda p: int(p.suffixes[0][1:]))
     if not files:
         raise FileNotFoundError(f"no domain.*.npz files in {directory}")
-    domains = []
-    for path in files:
-        with np.load(path) as z:
-            a_local = sp.csr_matrix(
-                (z["a_data"], z["a_indices"], z["a_indptr"]),
-                shape=tuple(z["a_shape"]),
-            )
-            dom = LocalDomain(
-                rank=int(z["rank"][0]),
-                internal_nodes=z["internal_nodes"],
-                external_nodes=z["external_nodes"],
-                a_local=a_local,
-                b=int(z["b"][0]),
-            )
-            dom.recv_tables = {
-                int(n): z[f"recv_{int(n)}"] for n in z["neighbors_recv"]
-            }
-            dom.send_tables = {
-                int(n): z[f"send_{int(n)}"] for n in z["neighbors_send"]
-            }
-        domains.append(dom)
+    domains = [_read_one(path) for path in files]
     expected = list(range(len(domains)))
     if [d.rank for d in domains] != expected:
         raise ValueError(f"domain files do not cover ranks {expected}")

@@ -1,0 +1,121 @@
+"""Durable checkpoint container: versioned, checksummed, atomically written.
+
+The checkpoint/recovery subsystem (DESIGN.md section 10) journals solver
+state to disk so a killed process can resume a long nonlinear run.  A
+wrong resume is worse than no resume, so the on-disk format is defensive:
+
+- **versioned** — an 8-byte magic + format version header; unknown
+  versions are rejected, never guessed at;
+- **checksummed** — a SHA-256 digest of the payload is stored in the
+  header and verified on load, so a truncated or bit-rotted file raises
+  :class:`JournalError` instead of resuming from garbage;
+- **atomic** — the file is written to a same-directory temporary and
+  ``os.replace``-d into place (after ``fsync``), so a crash *during*
+  checkpointing leaves the previous valid checkpoint intact.
+
+The payload itself is an ``npz`` archive (numpy's own portable format)
+of named arrays plus one JSON-encoded metadata dict — no pickle, so a
+journal can never execute code on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["JournalError", "JOURNAL_VERSION", "write_journal", "read_journal"]
+
+_MAGIC = b"REPROJNL"
+JOURNAL_VERSION = 1
+_HEADER = struct.Struct("<8sH32sQ")  # magic, version, sha256, payload bytes
+_META_KEY = "__meta_json__"
+
+
+class JournalError(ValueError):
+    """A journal file is corrupt, truncated, or of an unknown version."""
+
+
+def write_journal(
+    path: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict | None = None,
+) -> Path:
+    """Atomically write *arrays* + JSON-safe *meta* to *path*.
+
+    The temporary lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX); readers
+    concurrently opening *path* see either the old or the new checkpoint,
+    never a partial one.
+    """
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved for metadata")
+    buf = io.BytesIO()
+    meta_arr = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buf, **arrays, **{_META_KEY: meta_arr})
+    payload = buf.getvalue()
+    digest = hashlib.sha256(payload).digest()
+    header = _HEADER.pack(_MAGIC, JOURNAL_VERSION, digest, len(payload))
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_journal(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load and validate a journal; returns ``(arrays, meta)``.
+
+    Raises :class:`JournalError` with a specific message on every way the
+    file can be bad — missing magic, unknown version, length mismatch
+    (truncation), or checksum mismatch (corruption).
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < _HEADER.size:
+        raise JournalError(
+            f"{path}: {len(raw)} bytes is too short to hold a journal header "
+            f"({_HEADER.size} bytes) — truncated or not a checkpoint file"
+        )
+    magic, version, digest, nbytes = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise JournalError(
+            f"{path}: bad magic {magic!r} (expected {_MAGIC!r}) — "
+            "not a repro checkpoint journal"
+        )
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"{path}: journal format version {version} is not supported "
+            f"(this build reads version {JOURNAL_VERSION})"
+        )
+    payload = raw[_HEADER.size:]
+    if len(payload) != nbytes:
+        raise JournalError(
+            f"{path}: payload is {len(payload)} bytes but the header "
+            f"promises {nbytes} — file was truncated or appended to"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise JournalError(
+            f"{path}: payload checksum mismatch — the file is corrupted; "
+            "refusing to resume from it"
+        )
+    with np.load(io.BytesIO(payload)) as z:
+        arrays = {k: z[k] for k in z.files if k != _META_KEY}
+        try:
+            meta = json.loads(bytes(z[_META_KEY]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise JournalError(f"{path}: metadata block is unreadable: {exc}") from exc
+    return arrays, meta

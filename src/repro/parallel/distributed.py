@@ -28,7 +28,7 @@ import scipy.sparse as sp
 from repro.parallel.comm import CommLog, LockstepComm
 from repro.parallel.partition import LocalDomain, build_domains
 from repro.precond.base import Preconditioner
-from repro.resilience.taxonomy import FailureReason, SolveReport
+from repro.resilience.taxonomy import FailureReason, RankFailure, SolveReport
 from repro.solvers.cg import CGResult, _stagnated, _supports_out, check_finite_vector
 from repro.sparse.patterns import position_matrix, positions_from_data
 from repro.utils.timing import Timer
@@ -61,6 +61,7 @@ class DistributedSystem:
     _a_pattern: tuple[np.ndarray, np.ndarray] | None = None
     _a_maps: list[np.ndarray] | None = None
     _internal_maps: list[np.ndarray] | None = None
+    _recovery: dict | None = None
 
     @classmethod
     def from_global(
@@ -163,6 +164,91 @@ class DistributedSystem:
                 positions_from_data(li_pos.data, self.local_internals[d].nnz)
             )
 
+    # -- local-failure-local-recovery (DESIGN.md section 10) -----------
+
+    @property
+    def can_recover(self) -> bool:
+        return self._recovery is not None
+
+    def enable_recovery(self, directory=None) -> "DistributedSystem":
+        """Capture the durable per-rank data a replacement process needs.
+
+        Local-failure-local-recovery: when a rank dies, only *its* state
+        is rebuilt — from its own partitioner output / assembly data
+        (the ``domain.<rank>.npz`` local data files of
+        :mod:`repro.io.distio` when *directory* is given, an equivalent
+        in-memory copy otherwise), its slice of the right-hand side, and
+        its preconditioner's cached symbolic pattern
+        (:class:`~repro.precond.icfact.ICSymbolic`, deterministic from
+        the pattern, so a replacement refactors numerics only).  The
+        surviving ranks are untouched; the in-flight Krylov state is the
+        CG checkpoint's job (:class:`~repro.resilience.checkpoint.CGCheckpointStore`).
+        """
+        if directory is not None:
+            from repro.io.distio import write_local_data
+
+            write_local_data(self.domains, directory)
+            domains_copy = None
+        else:
+            domains_copy = [_clone_domain(dom) for dom in self.domains]
+        self._recovery = {
+            "directory": directory,
+            "domains": domains_copy,
+            "b_parts": [bp.copy() for bp in self.b_parts],
+            "symbolics": [getattr(m, "symbolic", None) for m in self.preconds],
+            "names": [getattr(m, "name", None) for m in self.preconds],
+        }
+        return self
+
+    def recover_rank(self, rank: int, *, report: SolveReport | None = None) -> None:
+        """Rebuild a dead rank's domain, preconditioner and RHS slice.
+
+        The replacement re-reads the rank's local data file (matrix rows
+        + communication tables), re-extracts its interior sub-matrix,
+        refactors the local preconditioner from the cached symbolic
+        pattern (full factory rebuild only when none was cached), and
+        announces itself to the communicator via ``revive`` so heartbeat
+        probes succeed again.
+        """
+        if self._recovery is None:
+            raise RuntimeError(
+                "recover_rank requires enable_recovery() before the solve — "
+                "without durable local data a dead rank cannot be rebuilt"
+            )
+        store = self._recovery
+        if store["directory"] is not None:
+            from repro.io.distio import read_local_domain
+
+            dom = read_local_domain(store["directory"], rank)
+        else:
+            dom = _clone_domain(store["domains"][rank])
+        self.domains[rank] = dom  # list shared with the communicator
+        ni_dof = dom.n_internal * self.b
+        li = dom.a_local[:, :ni_dof].tocsr()
+        self.local_internals[rank] = li
+        self.b_parts[rank] = store["b_parts"][rank].copy()
+        sym = store["symbolics"][rank]
+        if sym is not None:
+            from repro.precond.icfact import BlockICFactorization
+
+            self.preconds[rank] = BlockICFactorization(
+                li, symbolic=sym, name=store["names"][rank]
+            )
+            how = "numeric refactor on cached symbolic pattern"
+        else:
+            self.preconds[rank] = self.precond_factory(li, dom.internal_nodes)
+            how = "full preconditioner rebuild (no cached symbolic)"
+        if hasattr(self.comm, "revive"):
+            self.comm.revive(rank)
+        if report is not None:
+            report.record(
+                "retry",
+                "parallel_cg",
+                FailureReason.RANK_FAILURE,
+                detail=f"rank {rank} rebuilt from durable local data; {how}",
+                rank=rank,
+            )
+
     def gather_global(self, x_parts: list[np.ndarray]) -> np.ndarray:
         """Assemble the global solution from internal parts."""
         out = np.empty(self.ndof)
@@ -177,6 +263,20 @@ class DistributedSystem:
         return self.comm.log
 
 
+def _clone_domain(dom: LocalDomain) -> LocalDomain:
+    """Deep copy with fresh buffers — the recovery store's in-memory stand-in
+    for re-reading the rank's local data file."""
+    return LocalDomain(
+        rank=dom.rank,
+        internal_nodes=dom.internal_nodes.copy(),
+        external_nodes=dom.external_nodes.copy(),
+        a_local=dom.a_local.copy(),
+        send_tables={k: v.copy() for k, v in dom.send_tables.items()},
+        recv_tables={k: v.copy() for k, v in dom.recv_tables.items()},
+        b=dom.b,
+    )
+
+
 def parallel_cg(
     system: DistributedSystem,
     *,
@@ -186,6 +286,8 @@ def parallel_cg(
     stagnation_rtol: float = 0.99,
     time_budget: float | None = None,
     halo_check: bool = True,
+    checkpoint_interval: int = 0,
+    max_rollbacks: int = 3,
     report: SolveReport | None = None,
 ) -> CGResult:
     """Lockstep preconditioned CG on a distributed system.
@@ -209,6 +311,26 @@ def parallel_cg(
     (:class:`~repro.resilience.faults.FaultyComm`).  ``stagnation_window``,
     ``time_budget`` and ``report`` behave as in
     :func:`~repro.solvers.cg.cg_solve`.
+
+    Checkpoint/rollback (DESIGN.md section 10): when
+    ``checkpoint_interval > 0`` the per-domain Krylov state is
+    snapshotted every that-many iterations
+    (:class:`~repro.resilience.checkpoint.CGCheckpointStore`), and a
+    detected fault *resumes* instead of aborting, up to ``max_rollbacks``
+    times:
+
+    - a transient ``COMM_FAULT`` (corrupted halo) rolls every rank back
+      to the last snapshot and re-executes — the retried exchanges are
+      clean, so the iterates rejoin the fault-free trajectory exactly;
+    - a persistent :class:`~repro.resilience.taxonomy.RankFailure`
+      (heartbeat probe exhausted; see
+      :class:`~repro.resilience.faults.DeadRankComm`) first rebuilds the
+      dead rank via :meth:`DistributedSystem.recover_rank` — which
+      requires :meth:`DistributedSystem.enable_recovery` to have been
+      called — then rolls back and resumes.
+
+    With the budget exhausted (or checkpointing off) behavior reverts to
+    PR 2's fail-fast: the solve ends with the detection's reason.
     """
     domains = system.domains
     comm = system.comm
@@ -258,6 +380,13 @@ def parallel_cg(
             ]
         return [m.apply(rp) for m, rp in zip(system.preconds, r_parts)]
 
+    store = None
+    if checkpoint_interval:
+        from repro.resilience.checkpoint import CGCheckpointStore
+
+        store = CGCheckpointStore(checkpoint_interval)
+    rollbacks = 0
+
     x = [np.zeros_like(bp) for bp in system.b_parts]
     timer = Timer()
     reason: FailureReason | None = None
@@ -280,15 +409,62 @@ def parallel_cg(
         history = [relres]
         it = 0
         converged = relres <= eps
+        def rollback() -> float:
+            """Restore the snapshot; returns the rolled-back iteration."""
+            nonlocal it, rz, relres
+            ck = store.restore(x, r, p)
+            it = ck.iteration
+            rz = ck.rz
+            del history[ck.history_len:]
+            relres = history[-1]
+            if report is not None:
+                report.record(
+                    "recover",
+                    "parallel_cg",
+                    iteration=it,
+                    detail=f"rolled back to checkpointed iteration {it} "
+                    f"(rollback {rollbacks + 1}/{max_rollbacks})",
+                )
+            return it
+
         while not converged and it < max_iter:
+            if store is not None and store.due(it):
+                store.save(it, x, r, p, rz, len(history))
             try:
                 q = matvec(p)
+            except RankFailure as fail:
+                reason = detect(
+                    FailureReason.RANK_FAILURE,
+                    it,
+                    f"rank {fail.rank} unresponsive after {fail.probes} probes",
+                )
+                if (
+                    store is not None
+                    and store.latest is not None
+                    and rollbacks < max_rollbacks
+                    and system.can_recover
+                ):
+                    system.recover_rank(fail.rank, report=report)
+                    rollback()
+                    rollbacks += 1
+                    reason = None
+                    continue
+                break
             except _CommFaultDetected as fault:
                 reason = detect(
                     FailureReason.COMM_FAULT,
                     it,
                     f"owner/ghost mismatch {fault.mismatch:.3e}",
                 )
+                if (
+                    store is not None
+                    and store.latest is not None
+                    and rollbacks < max_rollbacks
+                ):
+                    rollback()
+                    rollbacks += 1
+                    reason = None
+                    continue
                 break
             pq = dot(p, q)
             if not np.isfinite(pq):

@@ -11,7 +11,14 @@ Three cooperating pieces (see DESIGN.md section 8):
   of restarting;
 - :mod:`repro.resilience.faults` — :class:`FaultyComm`, a seeded
   fault-injecting wrapper over the lockstep communicator for testing the
-  distributed solver's ``COMM_FAULT`` detection.
+  distributed solver's ``COMM_FAULT`` detection, and :class:`DeadRankComm`,
+  its persistent-failure sibling (a rank killed mid-solve, detected by a
+  heartbeat probe with bounded retry/backoff);
+- :mod:`repro.resilience.checkpoint` — in-memory CG snapshots
+  (:class:`CGCheckpointStore`) for rollback/resume inside
+  :func:`~repro.parallel.distributed.parallel_cg`, and the durable
+  :class:`AlmJournal` that lets a killed nonlinear run resume from disk
+  (DESIGN.md section 10).
 
 ``taxonomy`` is imported eagerly (it is dependency-free and the solver /
 preconditioner layers pull names from it); the other two are loaded
@@ -22,6 +29,7 @@ which itself imports ``taxonomy`` — eager imports here would cycle.
 from repro.resilience.taxonomy import (
     FailureReason,
     PivotNudgeWarning,
+    RankFailure,
     SolveEvent,
     SolveReport,
 )
@@ -36,6 +44,12 @@ __all__ = [
     "default_ladder",
     "FaultyComm",
     "FaultSpec",
+    "DeadRankComm",
+    "RankFailure",
+    "CGCheckpoint",
+    "CGCheckpointStore",
+    "AlmJournal",
+    "DEFAULT_CHECKPOINT_INTERVAL",
 ]
 
 _LAZY = {
@@ -44,6 +58,11 @@ _LAZY = {
     "default_ladder": "repro.resilience.resilient",
     "FaultyComm": "repro.resilience.faults",
     "FaultSpec": "repro.resilience.faults",
+    "DeadRankComm": "repro.resilience.faults",
+    "CGCheckpoint": "repro.resilience.checkpoint",
+    "CGCheckpointStore": "repro.resilience.checkpoint",
+    "AlmJournal": "repro.resilience.checkpoint",
+    "DEFAULT_CHECKPOINT_INTERVAL": "repro.resilience.checkpoint",
 }
 
 

@@ -17,18 +17,28 @@ can assert that the solver's owner/ghost agreement probe
 reports ``COMM_FAULT`` instead of returning a silently wrong answer.
 This is the correctness harness that makes future communication-layer
 optimizations safely testable.
+
+:class:`DeadRankComm` models the *persistent* failure FaultyComm cannot:
+a rank that dies mid-solve (killed SMP node, OOM'd process) and never
+answers again.  The exchange path runs a heartbeat probe with bounded
+retry/backoff — a slow-but-alive rank survives the probe, a dead one
+raises :class:`RankFailure` — and the recovery side
+(:meth:`~repro.parallel.distributed.DistributedSystem.recover_rank`)
+revives the rank from its durable local data.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.parallel.comm import LockstepComm
 from repro.parallel.partition import LocalDomain
+from repro.resilience.taxonomy import RankFailure
 
-__all__ = ["FaultSpec", "FaultyComm"]
+__all__ = ["FaultSpec", "FaultyComm", "DeadRankComm", "RankFailure"]
 
 _KINDS = ("drop", "nan", "bitflip")
 
@@ -165,3 +175,110 @@ class FaultyComm(LockstepComm):
                     "ndofs": int(dst.size),
                 }
             )
+
+
+class DeadRankComm(LockstepComm):
+    """Lockstep communicator with a seeded persistent rank kill.
+
+    At the start of halo exchange ``kill_at_exchange`` the *victim* rank
+    dies: its local memory (the halo-extended work vector passed to the
+    exchange) is poisoned to NaN — a replacement process has none of the
+    old state — and from then on every exchange's heartbeat probe finds
+    it unresponsive.  The probe retries each silent rank up to
+    ``max_probe_retries`` times with exponential backoff (sleeping
+    ``backoff * 2**attempt`` seconds; 0 by default so tests stay fast),
+    which is what distinguishes a *slow-but-alive* rank — declared in
+    ``slow`` as rank -> number of probes it ignores before answering —
+    from a dead one.  Dead ranks raise :class:`RankFailure`; slow ranks
+    merely consume retries.
+
+    :meth:`revive` is the recovery hand-off: after
+    :meth:`~repro.parallel.distributed.DistributedSystem.recover_rank`
+    rebuilds the rank's domain from durable local data, the replacement
+    answers probes again.  Kills and revivals are recorded in
+    :attr:`kills` / :attr:`revivals` for the sweep's audit.
+    """
+
+    def __init__(
+        self,
+        domains: list[LocalDomain],
+        *,
+        victim: int,
+        kill_at_exchange: int,
+        slow: dict[int, int] | None = None,
+        max_probe_retries: int = 3,
+        backoff: float = 0.0,
+    ) -> None:
+        super().__init__(domains)
+        if not 0 <= victim < len(domains):
+            raise ValueError(f"victim rank {victim} outside 0..{len(domains) - 1}")
+        self.victim = int(victim)
+        self.kill_at_exchange = int(kill_at_exchange)
+        self.max_probe_retries = int(max_probe_retries)
+        self.backoff = float(backoff)
+        self.dead: set[int] = set()
+        self._slow_budget = dict(slow or {})
+        self.exchange_count = 0
+        self.probe_count = 0
+        self.kills: list[dict] = []
+        self.revivals: list[dict] = []
+
+    # -- heartbeat ------------------------------------------------------
+
+    def _responds(self, rank: int) -> bool:
+        """One heartbeat: False while the rank is dead or still slow."""
+        self.probe_count += 1
+        if rank in self.dead:
+            return False
+        if self._slow_budget.get(rank, 0) > 0:
+            self._slow_budget[rank] -= 1
+            return False
+        return True
+
+    def probe_ranks(self) -> None:
+        """Probe every rank with bounded retry/backoff; raise on a dead one."""
+        for rank in range(self.size):
+            delay = self.backoff
+            for _ in range(self.max_probe_retries + 1):
+                if self._responds(rank):
+                    break
+                if delay > 0.0:
+                    time.sleep(delay)
+                    delay *= 2.0
+            else:
+                raise RankFailure(rank, self.max_probe_retries + 1)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def kill(self, rank: int) -> None:
+        self.dead.add(int(rank))
+        self.kills.append({"rank": int(rank), "exchange": self.exchange_count})
+
+    def revive(self, rank: int) -> None:
+        """A replacement process took over *rank*; probes succeed again."""
+        self.dead.discard(int(rank))
+        self.revivals.append({"rank": int(rank), "exchange": self.exchange_count})
+
+    # -- communication --------------------------------------------------
+
+    def exchange_external(self, vectors: list[np.ndarray]) -> None:
+        idx = self.exchange_count
+        self.exchange_count += 1
+        if idx >= self.kill_at_exchange and self.victim not in self.dead and not any(
+            k["rank"] == self.victim for k in self.revivals
+        ):
+            # the victim dies *now*: its memory is gone with it
+            vectors[self.victim][:] = np.nan
+            self.kill(self.victim)
+        self.probe_ranks()
+        super().exchange_external(vectors)
+
+    def allreduce_sum(self, contributions: list[float]) -> float:
+        if self.dead:
+            raise RankFailure(next(iter(self.dead)), 0)
+        return super().allreduce_sum(contributions)
+
+    def allreduce_sum_vec(self, contributions: list[np.ndarray]) -> np.ndarray:
+        if self.dead:
+            raise RankFailure(next(iter(self.dead)), 0)
+        return super().allreduce_sum_vec(contributions)

@@ -273,6 +273,13 @@ class ResilientSolver:
                 if res.relative_residual < best_relres:
                     best_relres = res.relative_residual
                     best_x = res.x
+            # release the superseded rung's numeric arrays before the next
+            # rung builds its own — otherwise the largest factorization of
+            # the ladder stays alive for the whole escalation, and across
+            # ALM retries that head-room compounds (the default_ladder's
+            # shared BIC cache is exempt by design: it is refactored in
+            # place, never duplicated)
+            m = None  # noqa: F841
             failed_before = True
             if res.reason is FailureReason.TIME_BUDGET:
                 break

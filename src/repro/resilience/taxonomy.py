@@ -15,13 +15,25 @@ communication layers can all import it without cycles.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 
 
 class FailureReason(Enum):
-    """Why a solve (or a solve stage) did not produce a converged answer."""
+    """Why a solve stopped — including the one non-failure: it converged.
+
+    Despite the name (kept for API continuity), ``CONVERGED`` is a member
+    so a finished :class:`~repro.solvers.cg.CGResult` carries an explicit
+    tag instead of ``reason=None``; :attr:`is_failure` distinguishes the
+    two families without enumerating members."""
+
+    CONVERGED = "converged"
+    """Not a failure: the solve met its tolerance.  ``SUCCESS`` is an
+    alias, so both spellings resolve to the same member."""
+
+    SUCCESS = "converged"
 
     BREAKDOWN_INDEFINITE = "breakdown_indefinite"
     """``p^T A p <= 0``: the operator or preconditioner lost positive
@@ -43,11 +55,39 @@ class FailureReason(Enum):
     """A halo exchange delivered inconsistent ghost values (owner/ghost
     disagreement, NaN payload, or corrupted bits)."""
 
+    RANK_FAILURE = "rank_failure"
+    """A rank stopped responding entirely (process death / lost node):
+    the heartbeat probe in the exchange path exhausted its retries."""
+
     TIME_BUDGET = "time_budget"
     """Wall-clock budget for the solve was exhausted."""
 
+    @property
+    def is_failure(self) -> bool:
+        """False only for ``CONVERGED``/``SUCCESS``."""
+        return self is not FailureReason.CONVERGED
+
     def __str__(self) -> str:  # "BREAKDOWN_INDEFINITE", table-friendly
         return self.name
+
+
+class RankFailure(RuntimeError):
+    """A rank did not respond to the heartbeat probe within its retry
+    budget: it is declared dead and the solve must recover or abort.
+
+    Raised by the communication layer's exchange path (see
+    :class:`~repro.resilience.faults.DeadRankComm`); caught by
+    :func:`~repro.parallel.distributed.parallel_cg`, which maps it to
+    :attr:`FailureReason.RANK_FAILURE` and attempts local recovery.
+    Lives here (not in :mod:`~repro.resilience.faults`) so the solver and
+    comm layers can both import it without a cycle."""
+
+    def __init__(self, rank: int, probes: int) -> None:
+        super().__init__(
+            f"rank {rank} unresponsive after {probes} heartbeat probe(s)"
+        )
+        self.rank = int(rank)
+        self.probes = int(probes)
 
 
 class PivotNudgeWarning(RuntimeWarning):
@@ -86,6 +126,43 @@ class SolveEvent:
         if self.detail:
             bits.append(self.detail)
         return " | ".join(bits)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (numpy scalars/arrays in ``data`` are coerced)."""
+        return {
+            "kind": self.kind,
+            "stage": self.stage,
+            "reason": None if self.reason is None else self.reason.value,
+            "iteration": None if self.iteration is None else int(self.iteration),
+            "detail": self.detail,
+            "data": {k: _jsonify(v) for k, v in self.data.items()},
+            "timestamp": float(self.timestamp),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SolveEvent":
+        return cls(
+            kind=d["kind"],
+            stage=d["stage"],
+            reason=None if d.get("reason") is None else FailureReason(d["reason"]),
+            iteration=d.get("iteration"),
+            detail=d.get("detail", ""),
+            data=dict(d.get("data", {})),
+            timestamp=float(d.get("timestamp", 0.0)),
+        )
+
+
+def _jsonify(v):
+    """Coerce numpy scalars / arrays so event data survives ``json.dumps``."""
+    if hasattr(v, "tolist"):  # numpy array or scalar
+        return v.tolist()
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    if isinstance(v, dict):
+        return {k: _jsonify(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonify(x) for x in v]
+    return str(v)
 
 
 @dataclass
@@ -136,6 +213,25 @@ class SolveReport:
             if e.reason is not None:
                 out[e.reason] = out.get(e.reason, 0) + 1
         return out
+
+    # -- serialization (used by the ALM checkpoint journal) -------------
+
+    def to_json(self) -> str:
+        """Serialize the full trail; inverse of :meth:`from_json`.
+
+        Arrays inside event ``data`` come back as plain lists — the trail
+        is a log, not a numeric payload, so that round-trip is lossy only
+        in dtype, never in content."""
+        return json.dumps({"events": [e.to_dict() for e in self.events]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveReport":
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ValueError("not a serialized SolveReport (no 'events' key)")
+        report = cls()
+        report.events = [SolveEvent.from_dict(d) for d in payload["events"]]
+        return report
 
     def __len__(self) -> int:
         return len(self.events)

@@ -62,9 +62,11 @@ class CGResult:
 
     ``iterations`` counts matrix-vector products after the initial
     residual, matching how the paper's tables count iterations.
-    ``reason`` says *why* a non-converged solve stopped (``None`` when
-    ``converged``), so "No Conv." table rows can distinguish breakdown
-    from iteration exhaustion.
+    ``reason`` says why the solve stopped: an explicit
+    ``FailureReason.CONVERGED`` tag on success (normalized in
+    ``__post_init__``, so no constructor needs to remember it) and a
+    failure member otherwise, so "No Conv." table rows can distinguish
+    breakdown from iteration exhaustion.
     """
 
     x: np.ndarray
@@ -76,6 +78,10 @@ class CGResult:
     history: np.ndarray = field(default_factory=lambda: np.empty(0))
     reason: FailureReason | None = None
 
+    def __post_init__(self) -> None:
+        if self.converged and self.reason is None:
+            self.reason = FailureReason.CONVERGED
+
     @property
     def total_seconds(self) -> float:
         """Set-up + solve, the paper's headline per-preconditioner metric."""
@@ -84,10 +90,10 @@ class CGResult:
     def __repr__(self) -> str:  # compact, bench-friendly
         if self.converged:
             status = "converged"
-        elif self.reason is not None:
-            status = f"NO CONV. [{self.reason}]"
         else:
-            status = "NO CONV."
+            # reason is always printable: a tagged member, or an explicit
+            # "unspecified" for hand-built results — never "None"
+            status = f"NO CONV. [{self.reason if self.reason is not None else 'unspecified'}]"
         return (
             f"CGResult({status} in {self.iterations} iters, "
             f"rel.res={self.relative_residual:.3e}, "

@@ -2,6 +2,8 @@
 
 from repro.utils.timing import Timer
 from repro.utils.validate import (
+    check_contact_groups,
+    check_finite_coords,
     check_index_array,
     check_permutation,
     check_square_csr,
@@ -10,6 +12,8 @@ from repro.utils.validate import (
 
 __all__ = [
     "Timer",
+    "check_contact_groups",
+    "check_finite_coords",
     "check_index_array",
     "check_permutation",
     "check_square_csr",

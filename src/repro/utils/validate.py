@@ -45,6 +45,63 @@ def check_square_csr(a: sp.spmatrix | sp.sparray, name: str = "matrix") -> sp.cs
     return a
 
 
+def check_finite_coords(coords: np.ndarray, name: str = "mesh coordinates") -> np.ndarray:
+    """Fail fast on NaN/Inf node coordinates.
+
+    A single poisoned coordinate otherwise survives assembly (NaN element
+    Jacobians average into the stiffness) and only surfaces hundreds of
+    CG iterations later as a NAN_DETECTED breakdown — name the node here
+    instead.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    bad = ~np.isfinite(coords)
+    if bad.any():
+        nodes = np.unique(np.nonzero(bad)[0] if coords.ndim > 1 else np.flatnonzero(bad))
+        raise ValueError(
+            f"{name} contain {int(bad.sum())} non-finite entries at "
+            f"{nodes.size} node(s) (first: node {nodes[0]}); fix the mesh "
+            "before assembly — a NaN coordinate poisons the stiffness matrix"
+        )
+    return coords
+
+
+def check_contact_groups(
+    groups: list[np.ndarray], n_nodes: int
+) -> list[np.ndarray]:
+    """Validate contact groups: in-range, >= 2 nodes, no duplicate ids.
+
+    Catches both a node id repeated *within* one group (a degenerate
+    contact pair — its penalty rows are singular and break the
+    factorization much later) and a node claimed by *two* groups.
+    Returns the groups coerced to int64.
+    """
+    seen = np.full(n_nodes, -1, dtype=np.int64)  # node -> owning group
+    out = []
+    for g, nodes in enumerate(groups):
+        nodes = check_index_array(
+            np.asarray(nodes, dtype=np.int64), n_nodes, f"contact group {g}"
+        )
+        if nodes.size < 2:
+            raise ValueError(f"contact group {g} has fewer than 2 nodes")
+        uniq, counts = np.unique(nodes, return_counts=True)
+        if (counts > 1).any():
+            dup = uniq[counts > 1]
+            raise ValueError(
+                f"contact group {g} lists node id(s) {dup.tolist()} more "
+                "than once — a degenerate contact pair; deduplicate the "
+                "pairing before assembly"
+            )
+        clash = uniq[seen[uniq] >= 0]
+        if clash.size:
+            raise ValueError(
+                f"contact group {g} overlaps group {seen[clash[0]]} "
+                f"at node id(s) {clash.tolist()}"
+            )
+        seen[uniq] = g
+        out.append(nodes)
+    return out
+
+
 def check_symmetric(a: sp.spmatrix | sp.sparray, tol: float = 1e-10, name: str = "matrix") -> None:
     """Raise if *a* is not numerically symmetric to relative tolerance *tol*."""
     a = sp.csr_matrix(a)

@@ -1,0 +1,32 @@
+"""Tier-1 smoke of the checkpointed fault-tolerance sweep.
+
+The full matrix (failure leg x preconditioner x seed x slot) runs as a CI
+script; here the ``--quick`` configuration must report 100% recovery to
+the fault-free answer — the contract the checkpoint/recovery layer is
+tested against.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import failure_sweep  # noqa: E402
+
+
+def test_quick_sweep_full_recovery():
+    summary = failure_sweep.run_sweep(quick=True)
+    # 3 preconds x 1 seed x 1 slot + 3 x 1 x 2 kinds + 3 x 1 kill cycle
+    assert summary["n_runs"] == 12
+    assert summary["recovery_rate"] == 1.0
+    assert summary["max_rel_err"] <= failure_sweep.REL_TOL
+    legs = {r["leg"] for r in summary["runs"]}
+    assert legs == {"rank_kill", "rollback", "process_kill"}
+    # process restarts must be bit-for-bit, not merely within tolerance
+    assert all(
+        r["bit_exact"] for r in summary["runs"] if r["leg"] == "process_kill"
+    )
+
+
+def test_cli_entry_quick():
+    assert failure_sweep.main(["--quick"]) == 0

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.utils import Timer, check_index_array, check_permutation, check_square_csr, check_symmetric
+from repro.utils import (
+    Timer,
+    check_contact_groups,
+    check_finite_coords,
+    check_index_array,
+    check_permutation,
+    check_square_csr,
+    check_symmetric,
+)
 
 
 class TestTimer:
@@ -85,3 +93,55 @@ class TestCheckSymmetric:
         a = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
         with pytest.raises(ValueError, match="not symmetric"):
             check_symmetric(a)
+
+
+class TestCheckFiniteCoords:
+    def test_clean_coords_pass_through(self):
+        coords = np.zeros((5, 3))
+        out = check_finite_coords(coords)
+        assert out.dtype == np.float64
+
+    def test_nan_coordinate_named(self):
+        coords = np.zeros((5, 3))
+        coords[3, 1] = np.nan
+        with pytest.raises(ValueError, match="node 3"):
+            check_finite_coords(coords)
+
+    def test_inf_coordinate_rejected(self):
+        coords = np.zeros((4, 3))
+        coords[0, 2] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite_coords(coords)
+
+    def test_assembly_rejects_poisoned_mesh(self):
+        """The check fires before assembly, not hundreds of CG iterations
+        later as a NAN_DETECTED breakdown."""
+        from repro.fem.assembly import assemble_stiffness
+        from repro.fem.generators import box_mesh
+
+        mesh = box_mesh(2, 2, 2)
+        mesh.coords[5, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            assemble_stiffness(mesh)
+
+
+class TestCheckContactGroups:
+    def test_valid_groups_coerced_to_int64(self):
+        out = check_contact_groups([np.array([0, 1]), [2, 3]], 4)
+        assert all(g.dtype == np.int64 for g in out)
+
+    def test_duplicate_within_group_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            check_contact_groups([np.array([0, 1, 1])], 4)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            check_contact_groups([np.array([0, 1]), np.array([1, 2])], 4)
+
+    def test_singleton_group_rejected(self):
+        with pytest.raises(ValueError, match="fewer than 2"):
+            check_contact_groups([np.array([0])], 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            check_contact_groups([np.array([0, 9])], 4)
