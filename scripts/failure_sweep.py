@@ -47,6 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.fem.generators import simple_block_model
 from repro.fem.model import build_contact_problem
 from repro.fem.nonlinear import solve_nonlinear_contact
@@ -258,9 +259,19 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--quick", action="store_true", help="small CI-smoke matrix")
     ap.add_argument("--ndomains", type=int, default=3)
     ap.add_argument("--json", action="store_true", help="dump full JSON summary")
+    ap.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export a Chrome trace-event JSON of the whole sweep",
+    )
     args = ap.parse_args(argv)
 
-    summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
+    if args.trace is not None:
+        with obs.observe() as sess:
+            summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
+        obs.export_chrome_trace(sess.tracer, args.trace, sess.metrics)
+        print(f"trace written to {args.trace}")
+    else:
+        summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
     if args.json:
         print(json.dumps(summary, indent=2))
     by_leg: dict[str, list] = {}

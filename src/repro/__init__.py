@@ -28,8 +28,10 @@ Layers (see DESIGN.md):
 - ``repro.perfmodel`` — calibrated Earth Simulator / SR2201 model.
 - ``repro.analysis`` — spectra of the preconditioned operator.
 - ``repro.experiments`` — one harness per table/figure of the paper.
+- ``repro.obs`` — unified observability: spans, metrics, trace export.
 """
 
+from repro import obs
 from repro.core import detect_contact_groups, selective_blocks_from_groups
 from repro.fem import (
     ContactProblem,
@@ -101,5 +103,6 @@ __all__ = [
     "von_mises",
     "BCSRMatrix",
     "VBRMatrix",
+    "obs",
     "__version__",
 ]

@@ -5,13 +5,24 @@
     python -m repro list
     python -m repro run table02 --scale 0.8
     python -m repro solve --model block --penalty 1e6 --precond sbbic0
+    python -m repro trace --model block --precond sbbic0 --out trace.json
+
+``run`` and ``solve`` accept ``--trace PATH`` to capture the whole
+command in a unified observability trace (:mod:`repro.obs`); ``trace``
+is the dedicated entry point that also prints the span/metric summary
+table.  A ``.jsonl`` suffix selects the JSON-lines exporter, anything
+else gets Chrome trace-event JSON (load it in ``chrome://tracing`` or
+Perfetto).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable
+
+from repro import obs
 
 from repro.experiments import (
     ablation_twolevel,
@@ -62,6 +73,26 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 }
 
 
+def _export_trace(sess: obs.ObsSession, path: str) -> None:
+    """Write *sess* to *path*; the suffix picks the format."""
+    if path.endswith(".jsonl"):
+        obs.export_jsonl(sess.tracer, path, sess.metrics)
+    else:
+        obs.export_chrome_trace(sess.tracer, path, sess.metrics)
+    print(f"trace written to {path}")
+
+
+@contextlib.contextmanager
+def _maybe_observe(trace_path: str | None):
+    """Observe and export when a ``--trace`` path was given; else no-op."""
+    if trace_path is None:
+        yield None
+        return
+    with obs.observe() as sess:
+        yield sess
+    _export_trace(sess, trace_path)
+
+
 def _cmd_list(_args) -> int:
     width = max(len(k) for k in EXPERIMENTS)
     for key, (desc, _) in EXPERIMENTS.items():
@@ -74,13 +105,15 @@ def _cmd_run(args) -> int:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
     _, fn = EXPERIMENTS[args.experiment]
-    table = fn(args.scale)
+    with _maybe_observe(getattr(args, "trace", None)):
+        table = fn(args.scale)
     table.print()
     return 0 if table.all_claims_hold else 1
 
 
-def _cmd_solve(args) -> int:
-    from repro import build_contact_problem, cg_solve
+def _run_solve(args) -> int:
+    """Shared body of the ``solve`` and ``trace`` commands."""
+    from repro import cg_solve
     from repro.experiments.workloads import block_problem, swjapan_problem
     from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
 
@@ -111,6 +144,21 @@ def _cmd_solve(args) -> int:
     return 0 if res.converged else 1
 
 
+def _cmd_solve(args) -> int:
+    with _maybe_observe(args.trace):
+        rc = _run_solve(args)
+    return rc
+
+
+def _cmd_trace(args) -> int:
+    with obs.observe() as sess:
+        rc = _run_solve(args)
+    print()
+    print(sess.summary())
+    _export_trace(sess, args.out)
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -123,18 +171,40 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one experiment harness")
     p_run.add_argument("experiment")
     p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export an observability trace of the run "
+        "(.jsonl = JSON-lines, otherwise Chrome trace-event JSON)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
+    def add_solve_args(p) -> None:
+        p.add_argument("--model", default="block", choices=["block", "swjapan"])
+        p.add_argument("--penalty", type=float, default=1e6)
+        p.add_argument(
+            "--precond", default="sbbic0",
+            choices=["diag", "ic0", "bic0", "bic1", "bic2", "sbbic0"],
+        )
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--max-iter", type=int, default=20000)
+
     p_solve = sub.add_parser("solve", help="solve one model once")
-    p_solve.add_argument("--model", default="block", choices=["block", "swjapan"])
-    p_solve.add_argument("--penalty", type=float, default=1e6)
+    add_solve_args(p_solve)
     p_solve.add_argument(
-        "--precond", default="sbbic0",
-        choices=["diag", "ic0", "bic0", "bic1", "bic2", "sbbic0"],
+        "--trace", default=None, metavar="PATH",
+        help="export an observability trace of the solve",
     )
-    p_solve.add_argument("--scale", type=float, default=1.0)
-    p_solve.add_argument("--max-iter", type=int, default=20000)
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_trace = sub.add_parser(
+        "trace", help="solve one model under full tracing and summarize"
+    )
+    add_solve_args(p_trace)
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="trace output path (default trace.json; .jsonl = JSON-lines)",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -7,11 +7,14 @@ all element matrices at once, then one sort-and-reduce into BCSR.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.fem.hex8 import hex8_stiffness
 from repro.fem.material import IsotropicElastic
 from repro.fem.mesh import Mesh
+from repro.obs import record_span
 from repro.sparse.bcsr import BCSRMatrix
 from repro.utils.validate import check_finite_coords
 
@@ -29,6 +32,7 @@ def assemble_stiffness(
         ``mesh.material_ids`` values to materials.  Defaults to the
         paper's non-dimensional ``E = 1.0, nu = 0.3``.
     """
+    t0 = time.perf_counter()
     check_finite_coords(mesh.coords)
     if materials is None:
         materials = IsotropicElastic()
@@ -54,7 +58,14 @@ def assemble_stiffness(
     blocks = (
         ke.reshape(ne, 8, 3, 8, 3).transpose(0, 1, 3, 2, 4).reshape(ne * 64, 3, 3)
     )
-    return BCSRMatrix.from_coo_blocks(mesh.n_nodes, rows, cols, blocks, b=3)
+    out = BCSRMatrix.from_coo_blocks(mesh.n_nodes, rows, cols, blocks, b=3)
+    record_span(
+        "assembly",
+        time.perf_counter() - t0,
+        n_elem=mesh.n_elem,
+        n_nodes=mesh.n_nodes,
+    )
+    return out
 
 
 def element_volumes(mesh: Mesh) -> np.ndarray:

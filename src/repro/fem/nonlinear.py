@@ -33,6 +33,7 @@ import scipy.sparse as sp
 
 from repro.fem.contact import constraint_matrix
 from repro.fem.mesh import Mesh
+from repro.obs import metric_inc, span as obs_span
 from repro.precond.base import Preconditioner
 from repro.resilience.checkpoint import AlmJournal, fingerprint_arrays
 from repro.sparse.patterns import csr_position_map, csr_union_pattern
@@ -173,9 +174,10 @@ def solve_nonlinear_contact(
     map_ctc = csr_position_map(a_aug, ctc)
 
     def build_system(lam_penalty: float):
-        a_aug.data[:] = 0.0
-        a_aug.data[map_free] = a_free.data
-        a_aug.data[map_ctc] += lam_penalty * ctc.data
+        with obs_span("alm_build_system", penalty=lam_penalty):
+            a_aug.data[:] = 0.0
+            a_aug.data[map_free] = a_free.data
+            a_aug.data[map_ctc] += lam_penalty * ctc.data
         return a_aug
 
     def inner_solve(a_aug, m, rhs, x0) -> CGResult:
@@ -295,67 +297,80 @@ def solve_nonlinear_contact(
                 },
             )
 
-    while not converged and cycles < max_cycles:
-        cycles += 1
-        rhs = b - c.T @ lam
-        res = inner_solve(a_aug, m, rhs, u)
-        cg_iters.append(res.iterations)
-        if not res.converged and res.reason in _BACKOFF_REASONS:
-            # the iterate is untrustworthy — do NOT fold it into u
-            if backoffs >= max_penalty_backoffs:
-                report.record(
-                    "detect",
-                    "alm",
-                    res.reason,
-                    iteration=cycles,
-                    detail=f"inner solve failed; back-off budget "
-                    f"({max_penalty_backoffs}) exhausted",
-                )
-                break
-            backoffs += 1
-            old_penalty = penalty
-            penalty = penalty * penalty_backoff
-            report.record(
-                "retry",
-                "alm",
-                res.reason,
-                iteration=cycles,
-                detail=f"penalty back-off {old_penalty:.3e} -> {penalty:.3e}, "
-                "rebuilding system",
-                backoff=backoffs,
-            )
-            a_aug = build_system(penalty)
-            if ladder_factory is None:
-                # same pattern, new values: numeric-only refactorization
-                # when the preconditioner supports it (one symbolic setup
-                # for the whole ALM run), full rebuild otherwise
-                if m is not None and hasattr(m, "refactor"):
-                    m.refactor(a_aug)
-                else:
-                    m = precond_factory(a_aug)
-            lam = lam * penalty_backoff  # keep the multiplier scale consistent
-            penalty_trail.append(penalty)
-            end_of_cycle()
-            continue
-        u = res.x
-        gap = c @ u
-        unorm = max(float(np.linalg.norm(u)), 1e-30)
-        gap_norm = float(np.linalg.norm(gap)) / unorm
-        penalty_trail.append(penalty)
-        if gap_norm <= constraint_tol:
-            converged = True
-            if backoffs:
-                report.record(
-                    "recover",
-                    "alm",
-                    iteration=cycles,
-                    detail=f"converged at penalty {penalty:.3e} after "
-                    f"{backoffs} back-off(s)",
-                )
-            end_of_cycle(force_checkpoint=True)
-            break
-        lam = lam + penalty * gap
-        end_of_cycle()
+    with obs_span(
+        "solve_nonlinear_contact",
+        ndof=a_free.shape[0],
+        ngroups=len(groups),
+        penalty=penalty,
+    ) as top_span:
+        while not converged and cycles < max_cycles:
+            cycles += 1
+            with obs_span("alm_cycle", cycle=cycles, penalty=penalty):
+                metric_inc("alm.cycles")
+                rhs = b - c.T @ lam
+                res = inner_solve(a_aug, m, rhs, u)
+                cg_iters.append(res.iterations)
+                if not res.converged and res.reason in _BACKOFF_REASONS:
+                    # the iterate is untrustworthy — do NOT fold it into u
+                    if backoffs >= max_penalty_backoffs:
+                        report.record(
+                            "detect",
+                            "alm",
+                            res.reason,
+                            iteration=cycles,
+                            detail=f"inner solve failed; back-off budget "
+                            f"({max_penalty_backoffs}) exhausted",
+                        )
+                        break
+                    backoffs += 1
+                    old_penalty = penalty
+                    penalty = penalty * penalty_backoff
+                    metric_inc("alm.penalty_backoffs")
+                    report.record(
+                        "retry",
+                        "alm",
+                        res.reason,
+                        iteration=cycles,
+                        detail=f"penalty back-off {old_penalty:.3e} -> "
+                        f"{penalty:.3e}, rebuilding system",
+                        backoff=backoffs,
+                    )
+                    a_aug = build_system(penalty)
+                    if ladder_factory is None:
+                        # same pattern, new values: numeric-only
+                        # refactorization when the preconditioner supports
+                        # it (one symbolic setup for the whole ALM run),
+                        # full rebuild otherwise
+                        if m is not None and hasattr(m, "refactor"):
+                            m.refactor(a_aug)
+                        else:
+                            m = precond_factory(a_aug)
+                    lam = lam * penalty_backoff  # keep multiplier scale consistent
+                    penalty_trail.append(penalty)
+                    end_of_cycle()
+                    continue
+                u = res.x
+                gap = c @ u
+                unorm = max(float(np.linalg.norm(u)), 1e-30)
+                gap_norm = float(np.linalg.norm(gap)) / unorm
+                penalty_trail.append(penalty)
+                if gap_norm <= constraint_tol:
+                    converged = True
+                    if backoffs:
+                        report.record(
+                            "recover",
+                            "alm",
+                            iteration=cycles,
+                            detail=f"converged at penalty {penalty:.3e} after "
+                            f"{backoffs} back-off(s)",
+                        )
+                    end_of_cycle(force_checkpoint=True)
+                    break
+                lam = lam + penalty * gap
+                end_of_cycle()
+        top_span.set(
+            cycles=cycles, converged=converged, backoffs=backoffs
+        )
 
     return NonlinearContactResult(
         u=u,

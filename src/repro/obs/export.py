@@ -1,0 +1,198 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, terminal table.
+
+Three consumers, three formats:
+
+- :func:`export_jsonl` — one flat JSON object per span/event per line,
+  plus a final ``{"kind": "metrics", ...}`` record.  Greppable and
+  diffable: two runs of the same experiment can be compared with line
+  tools, which is how trace regressions are hunted.
+- :func:`export_chrome_trace` — the ``chrome://tracing`` /
+  https://ui.perfetto.dev trace-event JSON: matched ``B``/``E`` duration
+  events per span (events as instants ``i``), timestamps in microseconds
+  relative to the tracer epoch.  Drop the file into a trace viewer to
+  *see* the ALM cycle / setup / CG / halo-exchange nesting.
+- :func:`summary_table` — a terminal table of per-span-name aggregates
+  (count, total, mean) and every registry metric, for humans at the end
+  of a CLI run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.core import Span, Tracer
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "summary_table",
+]
+
+
+def _flat(span: Span, t0: float) -> dict:
+    """One span as a flat (childless) JSON-safe record."""
+    return {
+        "kind": span.kind,
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "tid": span.tid,
+        "t_start_s": span.t_start - t0,
+        "duration_s": None if span.t_end is None else span.t_end - span.t_start,
+        "attrs": dict(span.attrs),
+    }
+
+
+def export_jsonl(
+    tracer: Tracer, path, metrics: MetricsRegistry | None = None
+) -> Path:
+    """Write the trace as JSON-lines; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for span in tracer.iter_spans():
+            fh.write(json.dumps(_flat(span, tracer.t0)) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"kind": "metrics", **metrics.snapshot()}) + "\n")
+    return path
+
+
+def chrome_trace_events(
+    tracer: Tracer, metrics: MetricsRegistry | None = None
+) -> dict:
+    """The trace as a Chrome trace-event document (a plain dict).
+
+    Spans become matched ``B``/``E`` pairs; zero-duration events become
+    thread-scoped instants (``ph: "i"``).  Emission is per-span-subtree
+    in pre-order, which keeps the ``B``/``E`` nesting well-formed within
+    each thread lane — the property the CI smoke test asserts.
+    """
+    t0 = tracer.t0
+    events: list[dict] = []
+
+    def emit(span: Span) -> None:
+        ts = (span.t_start - t0) * 1e6
+        args = {k: _json_safe(v) for k, v in span.attrs.items()}
+        if span.kind == "event":
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": span.tid,
+                    "args": args,
+                }
+            )
+            return
+        end = span.t_end if span.t_end is not None else span.t_start
+        events.append(
+            {
+                "name": span.name,
+                "ph": "B",
+                "ts": ts,
+                "pid": 1,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+        for c in span.children:
+            emit(c)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "E",
+                "ts": (end - t0) * 1e6,
+                "pid": 1,
+                "tid": span.tid,
+            }
+        )
+
+    for root in list(tracer.roots):
+        emit(root)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics.snapshot()}
+    return doc
+
+
+def export_chrome_trace(
+    tracer: Tracer, path, metrics: MetricsRegistry | None = None
+) -> Path:
+    """Write the Chrome trace-event JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(tracer, metrics), indent=1))
+    return path
+
+
+def _json_safe(v):
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    if hasattr(v, "tolist"):
+        return v.tolist()
+    return str(v)
+
+
+def summary_table(
+    tracer: Tracer | None, metrics: MetricsRegistry | None = None
+) -> str:
+    """Human-readable summary: span aggregates by name, then metrics."""
+    lines: list[str] = []
+    if tracer is not None:
+        agg: dict[str, list[float]] = {}
+        for span in tracer.iter_spans():
+            if span.kind != "span":
+                continue
+            agg.setdefault(span.name, []).append(span.duration)
+        if agg:
+            name_w = max(len(n) for n in agg) + 2
+            lines.append(
+                f"{'span'.ljust(name_w)}{'count':>8}{'total s':>12}{'mean ms':>12}"
+            )
+            for name in sorted(agg, key=lambda n: -sum(agg[n])):
+                durs = agg[name]
+                lines.append(
+                    f"{name.ljust(name_w)}{len(durs):>8}"
+                    f"{sum(durs):>12.4f}{1e3 * sum(durs) / len(durs):>12.3f}"
+                )
+        n_events = sum(1 for s in tracer.iter_spans() if s.kind == "event")
+        if n_events:
+            lines.append(f"({n_events} point events)")
+    if metrics is not None:
+        snap = metrics.snapshot()
+        rows: list[tuple[str, str, str]] = []
+        for name, series in sorted(snap["counters"].items()):
+            for row in series:
+                rows.append((name, _fmt_labels(row["labels"]), f"{row['value']:g}"))
+        for name, series in sorted(snap["gauges"].items()):
+            for row in series:
+                rows.append((name, _fmt_labels(row["labels"]), f"{row['value']:g}"))
+        for name, series in sorted(snap["histograms"].items()):
+            for row in series:
+                v = row["value"]
+                rows.append(
+                    (
+                        name,
+                        _fmt_labels(row["labels"]),
+                        f"n={v['count']} total={v['total']:g} "
+                        f"min={v['min']:g} max={v['max']:g}",
+                    )
+                )
+        if rows:
+            lines.append("")
+            w0 = max(len(r[0]) for r in rows) + 2
+            w1 = max(len(r[1]) for r in rows) + 2
+            lines.append(f"{'metric'.ljust(w0)}{'labels'.ljust(w1)}value")
+            lines += [f"{a.ljust(w0)}{b.ljust(w1)}{c}" for a, b, c in rows]
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))

@@ -9,36 +9,70 @@ one process — the mpi4py buffer-communication idiom without the runtime.
 
 Every exchange and reduction is tallied in :class:`CommLog`; the Earth
 Simulator performance model converts those counts into communication
-time (latency + volume / bandwidth).
+time (latency + volume / bandwidth).  When an observability session is
+active (:mod:`repro.obs`), every tally is forwarded into the metrics
+registry (``comm.exchanges`` / ``comm.messages`` / ``comm.bytes`` /
+``comm.allreduces``) and each boundary exchange emits a ``halo_exchange``
+span, so the unified trace carries the same census the paper's Fig. 20
+latency model consumes — :class:`CommLog` stays the cheap, always-on
+aggregate view.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metric_inc, metric_observe, session as obs_session, span
 from repro.parallel.partition import LocalDomain
+
+PER_EXCHANGE_RETENTION = 4096
+"""Default bound on :attr:`CommLog.per_exchange_bytes`.
+
+One entry per exchange grows without bound on long solves (the original
+unbounded list was a slow leak: a million-iteration solve kept a
+million ints alive for a per-exchange series nothing was reading).  The
+aggregates (``n_messages``/``bytes_sent``) and, when observability is
+on, the ``comm.exchange_bytes`` histogram carry the full-census totals;
+the retained tail exists only for tests and ad-hoc inspection."""
 
 
 @dataclass
 class CommLog:
-    """Message census of a distributed solve."""
+    """Message census of a distributed solve.
+
+    Aggregates (message/byte/allreduce counts) are exact over the whole
+    solve; ``per_exchange_bytes`` retains only the most recent
+    ``PER_EXCHANGE_RETENTION`` exchange totals (pass a different
+    ``deque`` — e.g. ``deque(maxlen=None)`` — to change the retention).
+    """
 
     n_messages: int = 0
     bytes_sent: int = 0
     n_allreduce: int = 0
     max_neighbor_count: int = 0
-    per_exchange_bytes: list[int] = field(default_factory=list)
+    per_exchange_bytes: deque[int] = field(
+        default_factory=lambda: deque(maxlen=PER_EXCHANGE_RETENTION)
+    )
 
-    def record_exchange(self, messages: list[int]) -> None:
+    def record_exchange(self, messages: list[int]) -> int:
+        """Tally one boundary exchange; returns its total byte count."""
         self.n_messages += len(messages)
         total = int(sum(messages))
         self.bytes_sent += total
         self.per_exchange_bytes.append(total)
+        if obs_session() is not None:
+            metric_inc("comm.exchanges")
+            metric_inc("comm.messages", len(messages))
+            metric_inc("comm.bytes", total)
+            metric_observe("comm.exchange_bytes", total)
+        return total
 
     def record_allreduce(self) -> None:
         self.n_allreduce += 1
+        metric_inc("comm.allreduces")
 
 
 class LockstepComm:
@@ -63,16 +97,18 @@ class LockstepComm:
         """
         if len(vectors) != self.size:
             raise ValueError(f"expected {self.size} vectors, got {len(vectors)}")
-        messages = []
-        for d, dom in enumerate(self.domains):
-            for owner, ext_local in dom.recv_tables.items():
-                peer = self.domains[owner]
-                src = peer.send_tables[d]
-                src_dofs = peer.local_dofs(src)
-                dst_dofs = dom.local_dofs(ext_local)
-                vectors[d][dst_dofs] = vectors[owner][src_dofs]
-                messages.append(src_dofs.size * 8)
-        self.log.record_exchange(messages)
+        with span("halo_exchange") as sp:
+            messages = []
+            for d, dom in enumerate(self.domains):
+                for owner, ext_local in dom.recv_tables.items():
+                    peer = self.domains[owner]
+                    src = peer.send_tables[d]
+                    src_dofs = peer.local_dofs(src)
+                    dst_dofs = dom.local_dofs(ext_local)
+                    vectors[d][dst_dofs] = vectors[owner][src_dofs]
+                    messages.append(src_dofs.size * 8)
+            total = self.log.record_exchange(messages)
+            sp.set(messages=len(messages), bytes=total)
 
     def halo_mismatch(self, vectors: list[np.ndarray]) -> float:
         """Owner/ghost agreement probe: worst |ghost - owner| over all halos.

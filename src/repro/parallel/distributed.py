@@ -25,6 +25,11 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import (
+    metric_inc,
+    session as obs_session,
+    span as obs_span,
+)
 from repro.parallel.comm import CommLog, LockstepComm
 from repro.parallel.partition import LocalDomain, build_domains
 from repro.precond.base import Preconditioner
@@ -130,15 +135,16 @@ class DistributedSystem:
             )
         if self._a_maps is None:
             self._build_value_maps(a)
-        for d, dom in enumerate(self.domains):
-            dom.a_local.data[:] = a.data[self._a_maps[d]]
-            li = self.local_internals[d]
-            li.data[:] = a.data[self._internal_maps[d]]
-            m = self.preconds[d]
-            if hasattr(m, "refactor"):
-                m.refactor(li)
-            else:
-                self.preconds[d] = self.precond_factory(li, dom.internal_nodes)
+        with obs_span("system_refactor", ranks=len(self.domains)):
+            for d, dom in enumerate(self.domains):
+                dom.a_local.data[:] = a.data[self._a_maps[d]]
+                li = self.local_internals[d]
+                li.data[:] = a.data[self._internal_maps[d]]
+                m = self.preconds[d]
+                if hasattr(m, "refactor"):
+                    m.refactor(li)
+                else:
+                    self.preconds[d] = self.precond_factory(li, dom.internal_nodes)
         if b_vec is not None:
             b_vec = np.asarray(b_vec, dtype=np.float64)
             for d, dom in enumerate(self.domains):
@@ -390,7 +396,11 @@ def parallel_cg(
     x = [np.zeros_like(bp) for bp in system.b_parts]
     timer = Timer()
     reason: FailureReason | None = None
-    with timer:
+    # captured once: the disabled path costs one `is None` test per iteration
+    sess = obs_session()
+    with obs_span(
+        "parallel_cg", ranks=nd, ndof=system.ndof, eps=eps
+    ), timer:
         t_start = time.perf_counter()
         r = [bp.copy() for bp in system.b_parts]  # x0 = 0
         z = precond(r)
@@ -417,6 +427,7 @@ def parallel_cg(
             rz = ck.rz
             del history[ck.history_len:]
             relres = history[-1]
+            metric_inc("cg.rollbacks")
             if report is not None:
                 report.record(
                     "recover",
@@ -427,89 +438,108 @@ def parallel_cg(
                 )
             return it
 
-        while not converged and it < max_iter:
-            if store is not None and store.due(it):
-                store.save(it, x, r, p, rz, len(history))
-            try:
-                q = matvec(p)
-            except RankFailure as fail:
-                reason = detect(
-                    FailureReason.RANK_FAILURE,
-                    it,
-                    f"rank {fail.rank} unresponsive after {fail.probes} probes",
-                )
+        with obs_span("cg_iterations"):
+            while not converged and it < max_iter:
+                if store is not None and store.due(it):
+                    store.save(it, x, r, p, rz, len(history))
+                try:
+                    q = matvec(p)
+                except RankFailure as fail:
+                    reason = detect(
+                        FailureReason.RANK_FAILURE,
+                        it,
+                        f"rank {fail.rank} unresponsive after {fail.probes} probes",
+                    )
+                    if (
+                        store is not None
+                        and store.latest is not None
+                        and rollbacks < max_rollbacks
+                        and system.can_recover
+                    ):
+                        system.recover_rank(fail.rank, report=report)
+                        rollback()
+                        rollbacks += 1
+                        reason = None
+                        continue
+                    break
+                except _CommFaultDetected as fault:
+                    reason = detect(
+                        FailureReason.COMM_FAULT,
+                        it,
+                        f"owner/ghost mismatch {fault.mismatch:.3e}",
+                    )
+                    if (
+                        store is not None
+                        and store.latest is not None
+                        and rollbacks < max_rollbacks
+                    ):
+                        rollback()
+                        rollbacks += 1
+                        reason = None
+                        continue
+                    break
+                pq = dot(p, q)
+                if not np.isfinite(pq):
+                    reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
+                    break
+                if pq <= 0:
+                    reason = detect(
+                        FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
+                    )
+                    break
+                alpha = rz / pq
+                for d in range(nd):
+                    x[d] += alpha * p[d]
+                    r[d] -= alpha * q[d]
+                it += 1
+                z = precond(r, z)
+                rr, rz_new = dot2(r, r, r, z)
+                relres = np.sqrt(rr) / bnorm
+                history.append(relres)
+                if sess is not None:
+                    sess.tracer.event("cg.iteration", it=it, relres=float(relres))
+                    sess.metrics.inc("cg.iterations", solver="parallel_cg")
+                if not np.isfinite(relres):
+                    reason = detect(
+                        FailureReason.NAN_DETECTED, it, "residual is NaN/Inf"
+                    )
+                    break
+                if relres <= eps:
+                    converged = True
+                    break
+                if _stagnated(history, stagnation_window, stagnation_rtol):
+                    reason = detect(
+                        FailureReason.STAGNATION,
+                        it,
+                        f"no {1 - stagnation_rtol:.0%} improvement in "
+                        f"{stagnation_window} iterations",
+                    )
+                    break
                 if (
-                    store is not None
-                    and store.latest is not None
-                    and rollbacks < max_rollbacks
-                    and system.can_recover
+                    time_budget is not None
+                    and time.perf_counter() - t_start > time_budget
                 ):
-                    system.recover_rank(fail.rank, report=report)
-                    rollback()
-                    rollbacks += 1
-                    reason = None
-                    continue
-                break
-            except _CommFaultDetected as fault:
-                reason = detect(
-                    FailureReason.COMM_FAULT,
-                    it,
-                    f"owner/ghost mismatch {fault.mismatch:.3e}",
-                )
-                if (
-                    store is not None
-                    and store.latest is not None
-                    and rollbacks < max_rollbacks
-                ):
-                    rollback()
-                    rollbacks += 1
-                    reason = None
-                    continue
-                break
-            pq = dot(p, q)
-            if not np.isfinite(pq):
-                reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
-                break
-            if pq <= 0:
-                reason = detect(
-                    FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
-                )
-                break
-            alpha = rz / pq
-            for d in range(nd):
-                x[d] += alpha * p[d]
-                r[d] -= alpha * q[d]
-            it += 1
-            z = precond(r, z)
-            rr, rz_new = dot2(r, r, r, z)
-            relres = np.sqrt(rr) / bnorm
-            history.append(relres)
-            if not np.isfinite(relres):
-                reason = detect(FailureReason.NAN_DETECTED, it, "residual is NaN/Inf")
-                break
-            if relres <= eps:
-                converged = True
-                break
-            if _stagnated(history, stagnation_window, stagnation_rtol):
-                reason = detect(
-                    FailureReason.STAGNATION,
-                    it,
-                    f"no {1 - stagnation_rtol:.0%} improvement in "
-                    f"{stagnation_window} iterations",
-                )
-                break
-            if time_budget is not None and time.perf_counter() - t_start > time_budget:
-                reason = detect(
-                    FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
-                )
-                break
-            beta = rz_new / rz
-            rz = rz_new
-            for d in range(nd):
-                p[d] *= beta
-                p[d] += z[d]
+                    reason = detect(
+                        FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
+                    )
+                    break
+                beta = rz_new / rz
+                rz = rz_new
+                for d in range(nd):
+                    p[d] *= beta
+                    p[d] += z[d]
         if not converged and reason is None:
             reason = detect(FailureReason.MAX_ITER, it, f"cap {max_iter}")
+
+    if sess is not None:
+        sess.metrics.inc("cg.solves", solver="parallel_cg", converged=converged)
+        sess.metrics.observe(
+            "cg.solve_seconds", timer.elapsed, solver="parallel_cg"
+        )
+        if reason is not None and reason.is_failure:
+            sess.metrics.inc(
+                "cg.failures", solver="parallel_cg", reason=str(reason)
+            )
 
     return CGResult(
         x=system.gather_global(x),

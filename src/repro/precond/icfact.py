@@ -55,6 +55,7 @@ import warnings
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import metric_inc, record_span
 from repro.precond.base import Preconditioner
 from repro.resilience.taxonomy import PivotNudgeWarning
 from repro.reorder.coloring import Coloring
@@ -348,6 +349,15 @@ class ICSymbolic:
 
         _SETUP_COUNTERS["symbolic"] += 1
         self.build_seconds = time.perf_counter() - t0
+        metric_inc("setup.symbolic")
+        record_span(
+            "ic_symbolic",
+            self.build_seconds,
+            ndof=self.ndof,
+            fill_level=self.fill_level,
+            variant=self.variant,
+            ncolors=self.ncolors,
+        )
 
     # ------------------------------------------------------------------
     # structure helpers
@@ -904,6 +914,16 @@ class BlockICFactorization(Preconditioner):
         self.numeric_setup_count += 1
         _SETUP_COUNTERS["numeric"] += 1
         self.numeric_seconds = time.perf_counter() - t0
+        metric_inc("setup.numeric")
+        if self.breakdown_count:
+            metric_inc("setup.pivot_nudges", self.breakdown_count)
+        record_span(
+            "ic_numeric",
+            self.numeric_seconds,
+            precond=self.name,
+            shift=self._shift,
+            pivot_nudges=self.breakdown_count,
+        )
         return self
 
     def _invert_group_diag(self, g: int) -> None:

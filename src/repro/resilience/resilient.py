@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import metric_inc, span as obs_span
 from repro.precond.base import Preconditioner
 from repro.precond.bic import bic
 from repro.precond.diagonal import DiagonalScaling
@@ -180,7 +181,8 @@ class ResilientSolver:
                 # nudges are escalated (or knowingly accepted) here, so the
                 # factorization's own warning would be noise
                 warnings.simplefilter("ignore", PivotNudgeWarning)
-                m = stage.build()
+                with obs_span("fallback_setup", stage=stage.name):
+                    m = stage.build()
         except (np.linalg.LinAlgError, ValueError, FloatingPointError) as exc:
             self.report.record(
                 "detect",
@@ -234,6 +236,7 @@ class ResilientSolver:
                     self.report.record(
                         "escalate", stage.name, detail=f"setup failed -> {nxt}"
                     )
+                    metric_inc("fallback.escalations", stage=stage.name)
                 failed_before = True
                 continue
 
@@ -265,6 +268,7 @@ class ResilientSolver:
                         detail=f"converged to {res.relative_residual:.3e} "
                         "after fallback",
                     )
+                    metric_inc("fallback.recoveries", stage=stage.name)
                 res.report = self.report
                 return res
 
@@ -291,6 +295,7 @@ class ResilientSolver:
                     iteration=res.iterations,
                     detail=f"-> {self.ladder[i + 1].name}",
                 )
+                metric_inc("fallback.escalations", stage=stage.name)
 
         if last is None:
             # no stage produced a solve (all setups failed, or the budget

@@ -9,8 +9,13 @@ produce all three.  This module gives every failure a name
 action, so a non-converged solve is diagnosable instead of a bare
 ``converged=False``.
 
-Kept dependency-free (stdlib + nothing) so the solver, preconditioner and
-communication layers can all import it without cycles.
+Kept nearly dependency-free (stdlib plus the stdlib-only
+:mod:`repro.obs` helpers) so the solver, preconditioner and
+communication layers can all import it without cycles.  When an
+observability session is active, every recorded event is mirrored into
+the unified trace (a ``report.<kind>`` trace event plus a
+``report.events`` counter labeled by kind and stage); the
+:class:`SolveReport` trail remains the authoritative, always-on log.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import json
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+
+from repro.obs import session as _obs_session
 
 
 class FailureReason(Enum):
@@ -194,6 +201,16 @@ class SolveReport:
             data=data,
         )
         self.events.append(ev)
+        sess = _obs_session()
+        if sess is not None:
+            sess.tracer.event(
+                f"report.{kind}",
+                stage=stage,
+                reason=None if reason is None else str(reason),
+                iteration=iteration,
+                detail=detail,
+            )
+            sess.metrics.inc("report.events", kind=kind, stage=stage)
         return ev
 
     # -- filtered views -------------------------------------------------

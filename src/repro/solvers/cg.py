@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import session as obs_session, span as obs_span
 from repro.precond.base import IdentityPreconditioner, Preconditioner
 from repro.resilience.taxonomy import FailureReason, SolveReport
 from repro.utils.timing import Timer
@@ -175,7 +176,10 @@ def cg_solve(
     timer = Timer()
     history = []
     reason: FailureReason | None = None
-    with timer:
+    # captured once: the disabled path costs one `is None` test per iteration
+    sess = obs_session()
+    pname = getattr(m, "name", type(m).__name__)
+    with obs_span("cg_solve", ndof=n, precond=pname, eps=eps), timer:
         t_start = time.perf_counter()
         r = b - matvec(x)
         z = m.apply(r)
@@ -185,54 +189,69 @@ def cg_solve(
         history.append(relres)
         it = 0
         converged = relres <= eps
-        while not converged and it < max_iter:
-            q = matvec(p)
-            pq = float(p @ q)
-            if not np.isfinite(pq):
-                reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
-                break
-            if pq <= 0:
-                # matrix or preconditioner lost positive definiteness
-                reason = detect(
-                    FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
-                )
-                break
-            alpha = rz / pq
-            x += alpha * p
-            r -= alpha * q
-            it += 1
-            relres = float(np.linalg.norm(r)) / bnorm
-            history.append(relres)
-            if not np.isfinite(relres):
-                reason = detect(FailureReason.NAN_DETECTED, it, "residual is NaN/Inf")
-                break
-            if relres <= eps:
-                converged = True
-                break
-            if _stagnated(history, stagnation_window, stagnation_rtol):
-                reason = detect(
-                    FailureReason.STAGNATION,
-                    it,
-                    f"no {1 - stagnation_rtol:.0%} improvement in "
-                    f"{stagnation_window} iterations",
-                )
-                break
-            if time_budget is not None and time.perf_counter() - t_start > time_budget:
-                reason = detect(
-                    FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
-                )
-                break
-            # z's buffer is recycled across iterations when the
-            # preconditioner supports it; p is updated in place — the
-            # loop body then allocates nothing beyond the matvec output
-            z = m.apply(r, out=z) if reuse_z else m.apply(r)
-            rz_new = float(r @ z)
-            beta = rz_new / rz
-            rz = rz_new
-            p *= beta
-            p += z
+        with obs_span("cg_iterations"):
+            while not converged and it < max_iter:
+                q = matvec(p)
+                pq = float(p @ q)
+                if not np.isfinite(pq):
+                    reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
+                    break
+                if pq <= 0:
+                    # matrix or preconditioner lost positive definiteness
+                    reason = detect(
+                        FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
+                    )
+                    break
+                alpha = rz / pq
+                x += alpha * p
+                r -= alpha * q
+                it += 1
+                relres = float(np.linalg.norm(r)) / bnorm
+                history.append(relres)
+                if sess is not None:
+                    sess.tracer.event("cg.iteration", it=it, relres=relres)
+                    sess.metrics.inc("cg.iterations", precond=pname)
+                if not np.isfinite(relres):
+                    reason = detect(
+                        FailureReason.NAN_DETECTED, it, "residual is NaN/Inf"
+                    )
+                    break
+                if relres <= eps:
+                    converged = True
+                    break
+                if _stagnated(history, stagnation_window, stagnation_rtol):
+                    reason = detect(
+                        FailureReason.STAGNATION,
+                        it,
+                        f"no {1 - stagnation_rtol:.0%} improvement in "
+                        f"{stagnation_window} iterations",
+                    )
+                    break
+                if (
+                    time_budget is not None
+                    and time.perf_counter() - t_start > time_budget
+                ):
+                    reason = detect(
+                        FailureReason.TIME_BUDGET, it, f"budget {time_budget:.3g}s"
+                    )
+                    break
+                # z's buffer is recycled across iterations when the
+                # preconditioner supports it; p is updated in place — the
+                # loop body then allocates nothing beyond the matvec output
+                z = m.apply(r, out=z) if reuse_z else m.apply(r)
+                rz_new = float(r @ z)
+                beta = rz_new / rz
+                rz = rz_new
+                p *= beta
+                p += z
         if not converged and reason is None:
             reason = detect(FailureReason.MAX_ITER, it, f"cap {max_iter}")
+
+    if sess is not None:
+        sess.metrics.inc("cg.solves", precond=pname, converged=converged)
+        sess.metrics.observe("cg.solve_seconds", timer.elapsed, precond=pname)
+        if reason is not None and reason.is_failure:
+            sess.metrics.inc("cg.failures", precond=pname, reason=str(reason))
 
     return CGResult(
         x=x,

@@ -27,10 +27,15 @@ class ConvergenceProfile:
     oscillation_ratio: float
     plateau_length: int
     mean_reduction: float
+    diverged: bool = False
+    """True when the history contains NaN/Inf residuals — the solve blew
+    up, so no smoothness statistic should rehabilitate it."""
 
     @property
     def is_smooth(self) -> bool:
-        """Heuristic: few upticks and no long plateaus."""
+        """Heuristic: no blow-up, few upticks and no long plateaus."""
+        if self.diverged:
+            return False
         return self.oscillation_ratio < 0.15 and self.plateau_length <= max(
             10, self.iterations // 4
         )
@@ -46,8 +51,14 @@ def analyze_history(history: np.ndarray) -> ConvergenceProfile:
     if h.ndim != 1 or h.size < 2:
         raise ValueError("history must hold at least two residual values")
     it = h.size - 1
-    ratios = h[1:] / np.maximum(h[:-1], 1e-300)
-    oscillation = float(np.count_nonzero(ratios > 1.0)) / it
+    diverged = not bool(np.isfinite(h).all())
+    with np.errstate(invalid="ignore", over="ignore"):
+        ratios = h[1:] / np.maximum(h[:-1], 1e-300)
+    # A NaN/Inf step ratio compares False against any threshold, which
+    # would let a diverged history score "smooth"; count every non-finite
+    # step as an oscillation (the residual did not decrease there).
+    upticks = (ratios > 1.0) | ~np.isfinite(ratios)
+    oscillation = float(np.count_nonzero(upticks)) / it
 
     # longest run with less than 1% reduction per step
     slow = ratios > 0.99
@@ -57,11 +68,21 @@ def analyze_history(history: np.ndarray) -> ConvergenceProfile:
         run = run + 1 if s else 0
         longest = max(longest, run)
 
-    total_red = max(h[-1] / max(h[0], 1e-300), 1e-300)
-    mean_red = float(total_red ** (1.0 / it))
+    # Mean per-iteration reduction.  An exact-zero final residual is TRUE
+    # convergence (reduction factor 0), not a number to clamp to 1e-300;
+    # a non-finite final residual is divergence, reported as inf.
+    last = float(h[-1])
+    if not np.isfinite(last):
+        mean_red = float("inf")
+    elif last == 0.0:
+        mean_red = 0.0
+    else:
+        total_red = max(last / max(float(h[0]), 1e-300), 1e-300)
+        mean_red = float(total_red ** (1.0 / it))
     return ConvergenceProfile(
         iterations=it,
         oscillation_ratio=oscillation,
         plateau_length=int(longest),
         mean_reduction=mean_red,
+        diverged=diverged,
     )

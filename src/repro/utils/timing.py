@@ -15,9 +15,13 @@ class Timer:
             do_work()
         print(t.elapsed)
 
-    Re-entering accumulates, so one timer can measure a phase that is
-    spread over several code regions (e.g. "preconditioner set-up" split
-    between symbolic and numeric factorization).
+    Re-entering *sequentially* accumulates, so one timer can measure a
+    phase that is spread over several code regions (e.g. "preconditioner
+    set-up" split between symbolic and numeric factorization).  *Nested*
+    entry is an error: a second ``__enter__`` before the matching
+    ``__exit__`` would silently overwrite the start stamp and lose the
+    outer interval, so it raises instead.  Use one timer per region — or
+    the hierarchical spans of :mod:`repro.obs` when nesting is wanted.
     """
 
     def __init__(self) -> None:
@@ -25,6 +29,12 @@ class Timer:
         self._t0: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._t0 is not None:
+            raise RuntimeError(
+                "Timer is already running: nested/re-entrant entry would "
+                "overwrite the start stamp and lose the outer interval "
+                "(use a separate Timer, or repro.obs spans, for nesting)"
+            )
         self._t0 = time.perf_counter()
         return self
 

@@ -84,6 +84,85 @@ class TestLockstepComm:
         with pytest.raises(ValueError):
             comm.exchange_external([np.zeros(3)])
 
+    @staticmethod
+    def _make_domain(rank, internal, external, send, recv):
+        import scipy.sparse as sp
+
+        from repro.parallel.partition import LocalDomain
+
+        internal = np.asarray(internal, dtype=np.int64)
+        external = np.asarray(external, dtype=np.int64)
+        nloc = internal.size + external.size
+        return LocalDomain(
+            rank=rank,
+            internal_nodes=internal,
+            external_nodes=external,
+            a_local=sp.csr_matrix((internal.size * 3, nloc * 3)),
+            send_tables={k: np.asarray(v, dtype=np.int64) for k, v in send.items()},
+            recv_tables={k: np.asarray(v, dtype=np.int64) for k, v in recv.items()},
+        )
+
+    def _domains_with_isolated_rank(self):
+        # dom0 <-> dom1 share one node each way; dom2 has no neighbors
+        d0 = self._make_domain(0, [0, 1], [2], {1: [0]}, {1: [2]})
+        d1 = self._make_domain(1, [2, 3], [0], {0: [0]}, {0: [2]})
+        d2 = self._make_domain(2, [4], [], {}, {})
+        return [d0, d1, d2]
+
+    def test_isolated_rank_exchange_and_mismatch(self):
+        comm = LockstepComm(self._domains_with_isolated_rank())
+        v0 = np.arange(9, dtype=np.float64)
+        v1 = 10.0 + np.arange(9)
+        v2 = np.array([100.0, 101.0, 102.0])
+        vectors = [v0, v1, v2]
+        comm.exchange_external(vectors)
+        # ghosts now equal the owners' boundary values
+        assert np.array_equal(v0[6:9], v1[0:3])
+        assert np.array_equal(v1[6:9], v0[0:3])
+        # the isolated rank is untouched and contributes no mismatch
+        assert np.array_equal(v2, [100.0, 101.0, 102.0])
+        assert comm.halo_mismatch(vectors) == 0.0
+        assert comm.log.n_messages == 2
+        assert comm.log.bytes_sent == 48  # 2 messages x 3 DOF x 8 bytes
+
+    def test_isolated_rank_mismatch_detects_staleness(self):
+        comm = LockstepComm(self._domains_with_isolated_rank())
+        vectors = [np.zeros(9), np.zeros(9), np.zeros(3)]
+        comm.exchange_external(vectors)
+        vectors[0][6] += 0.5  # stale ghost on dom0
+        assert comm.halo_mismatch(vectors) == pytest.approx(0.5)
+
+    def test_zero_length_send_tables(self):
+        # tables exist but carry no nodes: the exchange must be a clean
+        # no-op (zero-byte messages, no indexing error), and the
+        # mismatch probe must cope with empty halos
+        d0 = self._make_domain(0, [0], [], {1: []}, {1: []})
+        d1 = self._make_domain(1, [1], [], {0: []}, {0: []})
+        comm = LockstepComm([d0, d1])
+        vectors = [np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])]
+        before = [v.copy() for v in vectors]
+        comm.exchange_external(vectors)
+        assert np.array_equal(vectors[0], before[0])
+        assert np.array_equal(vectors[1], before[1])
+        assert comm.log.n_messages == 2
+        assert comm.log.bytes_sent == 0
+        assert list(comm.log.per_exchange_bytes) == [0]
+        assert comm.halo_mismatch(vectors) == 0.0
+
+    def test_per_exchange_bytes_retention_bounded(self):
+        from repro.parallel.comm import PER_EXCHANGE_RETENTION
+
+        d0 = self._make_domain(0, [0], [], {1: []}, {1: []})
+        d1 = self._make_domain(1, [1], [], {0: []}, {0: []})
+        comm = LockstepComm([d0, d1])
+        vectors = [np.zeros(3), np.zeros(3)]
+        for _ in range(PER_EXCHANGE_RETENTION + 10):
+            comm.exchange_external(vectors)
+        # aggregates keep the full census; the per-exchange series is a
+        # bounded window (regression: it used to grow without bound)
+        assert comm.log.n_messages == 2 * (PER_EXCHANGE_RETENTION + 10)
+        assert len(comm.log.per_exchange_bytes) == PER_EXCHANGE_RETENTION
+
 
 class TestParallelCG:
     def test_matches_sequential_localized(self, block_problem_small):

@@ -108,6 +108,35 @@ class TestHistoryAnalysis:
         res = cg_solve(p.a, p.b, sb_bic0(p.a, p.groups))
         assert analyze_history(res.history).is_smooth
 
+    def test_exact_zero_final_residual_is_true_convergence(self):
+        # regression: an exact-zero last residual used to clamp
+        # mean_reduction to ~1e-300**(1/it) instead of reporting 0.0
+        h = np.array([1.0, 0.1, 0.0])
+        prof = analyze_history(h)
+        assert prof.mean_reduction == 0.0
+        assert not prof.diverged
+
+    def test_nan_history_is_diverged_not_smooth(self):
+        # regression: NaN step ratios compared False against every
+        # threshold, so a blown-up history scored "smooth"
+        h = np.array([1.0, 0.5, np.nan, np.nan])
+        prof = analyze_history(h)
+        assert prof.diverged
+        assert not prof.is_smooth
+        assert prof.mean_reduction == np.inf
+
+    def test_inf_history_is_diverged(self):
+        h = np.array([1.0, 10.0, np.inf, np.inf])
+        prof = analyze_history(h)
+        assert prof.diverged
+        assert not prof.is_smooth
+        # every non-finite step counts as an uptick
+        assert prof.oscillation_ratio == 1.0
+
+    def test_finite_history_not_flagged_diverged(self):
+        prof = analyze_history(0.5 ** np.arange(10))
+        assert not prof.diverged
+
 
 class TestOverlappingElements:
     def test_cover_and_overlap(self):

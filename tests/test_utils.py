@@ -35,6 +35,29 @@ class TestTimer:
     def test_initial_zero(self):
         assert Timer().elapsed == 0.0
 
+    def test_nested_entry_raises(self):
+        # regression: a nested `with t:` used to silently overwrite the
+        # start stamp, losing the outer interval
+        t = Timer()
+        with pytest.raises(RuntimeError, match="already running"):
+            with t:
+                with t:
+                    pass
+
+    def test_outer_interval_survives_nested_attempt(self):
+        t = Timer()
+        try:
+            with t:
+                time.sleep(0.01)
+                with t:
+                    pass
+        except RuntimeError:
+            pass
+        assert t.elapsed >= 0.01
+        # and the timer is usable again afterwards
+        with t:
+            pass
+
 
 class TestCheckIndexArray:
     def test_valid(self):
