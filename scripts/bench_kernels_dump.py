@@ -14,7 +14,13 @@ Two layers of measurement:
    same-pattern values at a different penalty.  These are appended to a
    *cumulative* ``BENCH_setup.json`` trajectory (one entry per run) so
    the setup-phase cost is tracked across PRs.
-3. Optionally (skipped with ``--quick``), the pytest-benchmark suite in
+3. A kernel-backend comparison (:mod:`repro.kernels`): every importable
+   backend is warmed up (JIT compile time excluded) and timed on
+   ``sbbic_apply`` + the matvecs, with per-backend relative error vs
+   ``reference_apply``.  With numba present, a thread sweep re-times
+   ``sbbic_apply`` at ``NUMBA_NUM_THREADS`` = 1 / 2 / all in child
+   processes (the variable must be set before numba first imports).
+4. Optionally (skipped with ``--quick``), the pytest-benchmark suite in
    ``benchmarks/test_bench_kernels.py``, whose statistics are embedded
    verbatim.
 
@@ -34,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -46,6 +53,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import kernels  # noqa: E402
 from repro.fem.generators import simple_block_model  # noqa: E402
 from repro.fem.model import build_contact_problem  # noqa: E402
 from repro.precond import bic, sb_bic0, scalar_ic0  # noqa: E402
@@ -138,6 +146,110 @@ def append_setup_trajectory(path: Path, entry: dict) -> None:
     path.write_text(json.dumps(doc, indent=2) + "\n")
 
 
+def measure_backend_comparison(problem, m, r, *, quick: bool) -> dict:
+    """Time the registry kernels on every importable backend.
+
+    Each backend is warmed up first — JIT compile time is excluded by
+    construction — then ``sbbic_apply``, the scalar CSR matvec and the
+    BCSR matvec are timed through the same dispatch path solves use.
+    Correctness is pinned per backend against ``reference_apply``.
+    """
+    reps = 5 if quick else 50
+    ref = m.reference_apply(r)
+    ref_norm = float(np.linalg.norm(ref))
+    a_csr = problem.a.tocsr()
+    out: dict = {}
+    try:
+        for name in kernels.available_backends():
+            kernels.set_backend(name)
+            warm = kernels.warmup()
+            backend = kernels.get_backend()
+            apply_s = best_of(m.apply, r, reps=reps)
+            csr_s = best_of(lambda: backend.csr_matvec(a_csr, r), reps=reps)
+            bcsr_s = best_of(problem.a_bcsr.matvec, r, reps=reps)
+            rel_err = float(np.linalg.norm(m.apply(r) - ref)) / ref_norm
+            out[name] = {
+                "warmup_s": warm["seconds"],
+                "sbbic_apply_s": apply_s,
+                "csr_matvec_s": csr_s,
+                "bcsr_matvec_s": bcsr_s,
+                "relative_error_vs_reference": rel_err,
+            }
+            print(
+                f"backend {name}: apply {apply_s * 1e3:.3f} ms, "
+                f"csr {csr_s * 1e3:.3f} ms, bcsr {bcsr_s * 1e3:.3f} ms "
+                f"(warmup {warm['seconds']:.2f} s, rel err {rel_err:.2e})"
+            )
+        if "numpy" in out and "numba" in out:
+            out["numba"]["speedup_vs_numpy"] = (
+                out["numpy"]["sbbic_apply_s"] / out["numba"]["sbbic_apply_s"]
+            )
+    finally:
+        kernels.set_backend(None)
+    return out
+
+
+def measure_thread_sweep(*, quick: bool) -> list[dict]:
+    """numba ``sbbic_apply`` at 1 / 2 / all threads, via subprocesses.
+
+    ``NUMBA_NUM_THREADS`` must be set before numba first imports, so each
+    thread count runs this script's hidden ``--probe`` mode in a child
+    process and parses the JSON line it prints.
+    """
+    if "numba" not in kernels.available_backends():
+        return []
+    ncpu = os.cpu_count() or 1
+    rows = []
+    for t in sorted({1, 2, ncpu} & set(range(1, ncpu + 1))):
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO_ROOT / "src"),
+            NUMBA_NUM_THREADS=str(t),
+            REPRO_KERNEL_BACKEND="numba",
+        )
+        cmd = [sys.executable, __file__, "--probe"]
+        if quick:
+            cmd.append("--quick")
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            print(f"thread probe ({t} threads) failed:\n{proc.stdout}{proc.stderr}")
+            continue
+        row = json.loads(proc.stdout.strip().splitlines()[-1])
+        rows.append(row)
+        print(
+            f"numba @ {row['threads']} threads: "
+            f"apply {row['sbbic_apply_s'] * 1e3:.3f} ms"
+        )
+    return rows
+
+
+def run_probe(*, quick: bool) -> int:
+    """Hidden child mode for :func:`measure_thread_sweep`.
+
+    Times ``sbbic_apply`` on the backend configured by the environment
+    (after warmup) and prints one JSON line on stdout.
+    """
+    problem = build_contact_problem(simple_block_model(6, 6, 4, 6, 6), penalty=1e6)
+    m = sb_bic0(problem.a, problem.groups)
+    rng = np.random.default_rng(1)
+    r = rng.normal(size=problem.ndof)
+    kernels.warmup()
+    apply_s = best_of(m.apply, r, reps=5 if quick else 50)
+    info = kernels.describe()
+    print(
+        json.dumps(
+            {
+                "backend": info["active"],
+                "threads": int(info.get("num_threads", 1)),
+                "sbbic_apply_s": apply_s,
+            }
+        )
+    )
+    return 0
+
+
 def run_pytest_suite() -> list[dict] | None:
     """Run benchmarks/test_bench_kernels.py, return its benchmark stats."""
     with tempfile.TemporaryDirectory() as td:
@@ -179,7 +291,11 @@ def main(argv=None) -> int:
     ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json")
     ap.add_argument("--setup-out", type=Path, default=REPO_ROOT / "BENCH_setup.json")
     ap.add_argument("--no-gate", action="store_true", help="never fail on regressed speedups")
+    ap.add_argument("--probe", action="store_true", help=argparse.SUPPRESS)
     args = ap.parse_args(argv)
+
+    if args.probe:
+        return run_probe(quick=args.quick)
 
     apply_reps = 5 if args.quick else 50
     cg_rounds = 1 if args.quick else 3
@@ -213,6 +329,12 @@ def main(argv=None) -> int:
     bsr = problem.a_bcsr.to_bsr()
     matvec_s = best_of(lambda: bsr @ r, reps=apply_reps)
 
+    print("comparing kernel backends (warmup excluded) ...")
+    backend_comparison = measure_backend_comparison(
+        problem, m, r, quick=args.quick
+    )
+    thread_sweep = measure_thread_sweep(quick=args.quick)
+
     print("measuring setup phases (cold symbolic+numeric vs refactor) ...")
     problem_alt = build_contact_problem(
         simple_block_model(6, 6, 4, 6, 6), penalty=1e3
@@ -240,6 +362,7 @@ def main(argv=None) -> int:
             "machine": platform.machine(),
             "generated_by": "scripts/bench_kernels_dump.py",
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "kernels": kernels.describe(),
         },
         "apply_comparison": {
             "fast_s": fast_s,
@@ -257,6 +380,8 @@ def main(argv=None) -> int:
             "bsr_matvec_s": matvec_s,
             "sbbic_setup_s": float(m.setup_seconds),
         },
+        "backend_comparison": backend_comparison,
+        "numba_thread_sweep": thread_sweep,
         "setup_phases": setup_phases,
         "pytest_benchmarks": suite,
     }

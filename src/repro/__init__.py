@@ -29,9 +29,10 @@ Layers (see DESIGN.md):
 - ``repro.analysis`` — spectra of the preconditioned operator.
 - ``repro.experiments`` — one harness per table/figure of the paper.
 - ``repro.obs`` — unified observability: spans, metrics, trace export.
+- ``repro.kernels`` — multi-backend hot-loop kernels (numpy / numba JIT).
 """
 
-from repro import obs
+from repro import kernels, obs
 from repro.core import detect_contact_groups, selective_blocks_from_groups
 from repro.fem import (
     ContactProblem,
@@ -103,6 +104,7 @@ __all__ = [
     "von_mises",
     "BCSRMatrix",
     "VBRMatrix",
+    "kernels",
     "obs",
     "__version__",
 ]

@@ -22,7 +22,7 @@ import contextlib
 import sys
 from typing import Callable
 
-from repro import obs
+from repro import kernels, obs
 
 from repro.experiments import (
     ablation_twolevel,
@@ -117,6 +117,11 @@ def _run_solve(args) -> int:
     from repro.experiments.workloads import block_problem, swjapan_problem
     from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
 
+    if getattr(args, "kernel_backend", None):
+        active = kernels.set_backend(args.kernel_backend)
+        kernels.warmup()  # pay JIT compile before anything is timed
+        print(f"kernel backend: {active}")
+
     if args.model == "block":
         prob = block_problem(args.scale, penalty=args.penalty)
     elif args.model == "swjapan":
@@ -187,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--max-iter", type=int, default=20000)
+        p.add_argument(
+            "--kernel-backend", default=None,
+            choices=["auto", "numpy", "numba"],
+            help="kernel backend for the hot loops (default: "
+            f"${kernels.ENV_VAR} or auto = numba when importable)",
+        )
 
     p_solve = sub.add_parser("solve", help="solve one model once")
     add_solve_args(p_solve)

@@ -1,0 +1,107 @@
+"""Pure numpy/scipy kernel backend (always available).
+
+These are the batched/bucketed implementations that previously lived
+inline in ``precond/icfact.py`` and ``sparse/{bcsr,vbr}.py`` — numpy
+fancy-indexing plus batched ``matmul``/native scipy matvecs play the
+role of the Earth Simulator's vector pipelines.  They are the fallback
+when numba is absent and the parity baseline the numba backend is tested
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NAME = "numpy"
+
+
+def is_available() -> bool:
+    return True
+
+
+def warmup() -> float:
+    """Nothing to compile; the registry still offers a uniform hook."""
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# substitution sweep  z = (D + L)^{-T} D (D + L)^{-1} r  (permuted space)
+# ----------------------------------------------------------------------
+
+
+def apply_substitution(plan, rp: np.ndarray) -> np.ndarray:
+    """Sweep the compiled per-group CSR operators with native matvecs.
+
+    Seed with the whole-vector diagonal solve, then in place:
+    forward  ``y_g = Dinv_g r_g - (Dinv_g L_g) y``   (columns: earlier groups)
+    backward ``z_g = y_g - (Dinv_g L_g^T) z``        (columns: later groups)
+    """
+    y = plan.dinv_all @ rp
+    for sel, op in zip(plan.sels, plan.fwd_ops):
+        if op is not None:
+            y[sel] -= op @ y
+    for sel, op in zip(reversed(plan.sels), reversed(plan.bwd_ops)):
+        if op is not None:
+            y[sel] -= op @ y
+    return y
+
+
+# ----------------------------------------------------------------------
+# matrix-vector products
+# ----------------------------------------------------------------------
+
+
+def csr_matvec(a, x: np.ndarray) -> np.ndarray:
+    """Scalar CSR matvec (scipy native)."""
+    return a @ x
+
+
+def bcsr_matvec(mat, x: np.ndarray) -> np.ndarray:
+    """Uniform-block matvec through the cached scipy BSR handle."""
+    return mat.to_bsr() @ x
+
+
+def vbr_matvec(mat, x: np.ndarray) -> np.ndarray:
+    """Variable-block matvec, batched per block shape (Fig. 22 idiom)."""
+    from repro.sparse.vbr import shape_buckets
+
+    y = np.zeros(mat.ndof)
+    all_pos = np.arange(mat.nnzb, dtype=np.int64)
+    shape_r = mat.sizes[mat.block_rows_]
+    shape_c = mat.sizes[mat.indices]
+    for sr, sc, pos in shape_buckets(shape_r, shape_c, all_pos):
+        blocks = mat.gather(pos, sr, sc)
+        xseg = x[mat.offsets[mat.indices[pos], None] + np.arange(sc)]
+        contrib = np.einsum("mrc,mc->mr", blocks, xseg)
+        rows = mat.offsets[mat.block_rows_[pos], None] + np.arange(sr)
+        np.add.at(y, rows.reshape(-1), contrib.reshape(-1))
+    return y
+
+
+# ----------------------------------------------------------------------
+# numeric factorization update sweeps (one shape bucket per call)
+# ----------------------------------------------------------------------
+
+
+def dmod_update(data: np.ndarray, dinv: np.ndarray, bucket: tuple) -> None:
+    """Batched dmod diagonal recurrence ``D_i -= A_ik D_k^{-1} A_ik^T``.
+
+    ``bucket`` is one shape bucket of
+    :meth:`~repro.precond.icfact.ICSymbolic._build_dmod_updates`; the
+    trailing row-segmentation arrays are only needed by the JIT backend.
+    """
+    si, sk, flat_ik, dflat_k, diag_dst, _order, _seg_ptr = bucket
+    aik = data[flat_ik].reshape(-1, si, sk)
+    dk = dinv[dflat_k].reshape(-1, sk, sk)
+    upd = np.matmul(np.matmul(aik, dk), aik.transpose(0, 2, 1))
+    np.add.at(data, diag_dst.reshape(-1), -upd.reshape(-1))
+
+
+def full_update(data: np.ndarray, dinv: np.ndarray, bucket: tuple) -> None:
+    """Batched full block-IC update ``V_ij -= V_ik D_k^{-1} V_jk^T``."""
+    si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij, _order, _seg_ptr = bucket
+    vik = data[flat_ik].reshape(-1, si, sk)
+    vjk = data[flat_jk].reshape(-1, sj, sk)
+    dk = dinv[dflat_k].reshape(-1, sk, sk)
+    upd = np.matmul(np.matmul(vik, dk), vjk.transpose(0, 2, 1))
+    np.add.at(data, flat_ij.reshape(-1), -upd.reshape(-1))

@@ -1,0 +1,125 @@
+"""Backend-neutral execution plans for the substitution kernels.
+
+The numeric phase of :class:`~repro.precond.icfact.BlockICFactorization`
+compiles the per-group substitution operators ``Dinv_g L_g`` /
+``Dinv_g L_g^T`` (scalar CSR, rows in group-local numbering, columns
+over the whole permuted vector) plus the whole-vector block-diagonal
+solve ``Dinv``.  A :class:`SubstitutionPlan` packages those operators in
+the two layouts the backends consume:
+
+- the **scipy layout** (``sels`` + per-group ``csr_matrix`` handles) the
+  numpy backend sweeps with one native matvec per group — unchanged from
+  the PR 1 fast path;
+- the **flat layout** (:class:`FlatSweep`): all group operators
+  concatenated into single CSR arrays with a ``group_ptr`` row-range
+  table and a ``rows`` map back to global DOF rows.  A JIT kernel then
+  runs the whole sweep in one call — sequential over groups, parallel
+  (``prange``) over the independent rows inside each group.
+
+The flat layout is built lazily (:meth:`SubstitutionPlan.flat`) so a
+numpy-only process never pays the concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["FlatSweep", "SubstitutionPlan"]
+
+
+def _group_dofs(sel, ndof: int) -> np.ndarray:
+    """Global DOF rows of one schedule group (``sel`` is slice or array)."""
+    if isinstance(sel, slice):
+        start = 0 if sel.start is None else sel.start
+        stop = ndof if sel.stop is None else sel.stop
+        return np.arange(start, stop, dtype=np.int64)
+    return np.asarray(sel, dtype=np.int64)
+
+
+@dataclass
+class FlatSweep:
+    """One sweep direction's group operators, concatenated.
+
+    Concatenated row ``t`` belongs to schedule group ``g`` iff
+    ``group_ptr[g] <= t < group_ptr[g + 1]`` and updates global DOF
+    ``rows[t]``; its matrix entries are
+    ``indices/data[indptr[t]:indptr[t + 1]]`` with columns indexing the
+    whole permuted vector.  Groups whose operator is empty occupy an
+    empty row range, so the group count is preserved.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    rows: np.ndarray
+    group_ptr: np.ndarray
+
+
+def _flatten(sels: list, ops: list, ndof: int) -> FlatSweep:
+    ngroups = len(ops)
+    group_ptr = np.zeros(ngroups + 1, dtype=np.int64)
+    ptr_parts = [np.zeros(1, dtype=np.int64)]
+    ind_parts: list[np.ndarray] = []
+    dat_parts: list[np.ndarray] = []
+    row_parts: list[np.ndarray] = []
+    nnz = 0
+    nrows = 0
+    for g, (sel, op) in enumerate(zip(sels, ops)):
+        if op is not None:
+            dofs = _group_dofs(sel, ndof)
+            if op.shape[0] != dofs.size:
+                raise AssertionError(
+                    f"group {g}: operator has {op.shape[0]} rows, "
+                    f"selection has {dofs.size} DOFs"
+                )
+            ptr_parts.append(op.indptr[1:].astype(np.int64) + nnz)
+            ind_parts.append(op.indices.astype(np.int64))
+            dat_parts.append(np.asarray(op.data, dtype=np.float64))
+            row_parts.append(dofs)
+            nnz += int(op.nnz)
+            nrows += dofs.size
+        group_ptr[g + 1] = nrows
+    return FlatSweep(
+        indptr=np.concatenate(ptr_parts),
+        indices=(
+            np.concatenate(ind_parts) if ind_parts else np.empty(0, dtype=np.int64)
+        ),
+        data=np.concatenate(dat_parts) if dat_parts else np.empty(0, dtype=np.float64),
+        rows=np.concatenate(row_parts) if row_parts else np.empty(0, dtype=np.int64),
+        group_ptr=group_ptr,
+    )
+
+
+@dataclass
+class SubstitutionPlan:
+    """All operator data one ``M^{-1} r`` application needs.
+
+    Rebuilt by every numeric (re)factorization — the structures are
+    pattern-constant but the data arrays are not.  ``sels``, ``fwd_ops``,
+    ``bwd_ops`` and ``dinv_all`` are the scipy layout; :meth:`flat`
+    yields (and caches) the flat layout for the JIT backends.
+    """
+
+    ndof: int
+    sels: list
+    fwd_ops: list
+    bwd_ops: list
+    dinv_all: sp.csr_matrix
+    _flat: tuple | None = field(default=None, repr=False, compare=False)
+
+    def flat(self) -> tuple:
+        """``(dinv_indptr, dinv_indices, dinv_data, fwd, bwd)`` with
+        ``fwd``/``bwd`` as :class:`FlatSweep` (built once, then cached)."""
+        if self._flat is None:
+            d = self.dinv_all
+            self._flat = (
+                d.indptr.astype(np.int64),
+                d.indices.astype(np.int64),
+                np.asarray(d.data, dtype=np.float64),
+                _flatten(self.sels, self.fwd_ops, self.ndof),
+                _flatten(self.sels, self.bwd_ops, self.ndof),
+            )
+        return self._flat

@@ -1,0 +1,135 @@
+"""Kernel backend registry: selection, fallback, warmup.
+
+A *backend* is a module exposing the uniform kernel interface
+(``apply_substitution``, ``csr_matvec``, ``bcsr_matvec``, ``vbr_matvec``,
+``dmod_update``, ``full_update``, ``warmup``, ``is_available``, ``NAME``).
+The registry resolves which backend serves a call:
+
+1. explicit per-call argument (``get_backend("numpy")``),
+2. process-wide :func:`set_backend` (CLI ``--kernel-backend``),
+3. the ``REPRO_KERNEL_BACKEND`` environment variable,
+4. ``auto``: numba when importable, numpy otherwise.
+
+Requesting numba in an environment without it is not an error: the
+registry logs one warning and serves numpy — optional acceleration must
+never become a hard dependency (SNIPPETS.md Snippet 2's guarded-import
+idiom).  Resolution is a couple of dict lookups, cheap enough to run on
+every hot-path call, so backend switches take effect immediately.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+from repro.kernels import numba_backend, numpy_backend
+
+__all__ = [
+    "ENV_VAR",
+    "active_backend",
+    "available_backends",
+    "describe",
+    "get_backend",
+    "reset",
+    "resolve_name",
+    "set_backend",
+    "warmup",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_LOG = logging.getLogger("repro.kernels")
+_BACKENDS = {"numpy": numpy_backend, "numba": numba_backend}
+_EXPLICIT: str | None = None
+_WARNED: set[str] = set()
+
+
+def available_backends() -> list[str]:
+    """Names of the backends importable in this environment."""
+    return [name for name, mod in _BACKENDS.items() if mod.is_available()]
+
+
+def _validate(name: str) -> str:
+    name = name.strip().lower()
+    if name not in ("auto", *_BACKENDS):
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{['auto', *_BACKENDS]}"
+        )
+    return name
+
+
+def resolve_name(name: str | None = None) -> str:
+    """Resolve the backend *name* (or the configured default) to an
+    available backend, falling back from numba to numpy with one logged
+    warning when numba is not importable."""
+    req = name or _EXPLICIT or os.environ.get(ENV_VAR) or "auto"
+    req = _validate(req)
+    if req == "auto":
+        return "numba" if numba_backend.is_available() else "numpy"
+    if not _BACKENDS[req].is_available():
+        if req not in _WARNED:
+            _WARNED.add(req)
+            _LOG.warning(
+                "kernel backend %r requested but not importable; falling back "
+                "to the numpy backend (pip install 'repro[jit]' to enable numba)",
+                req,
+            )
+        return "numpy"
+    return req
+
+
+def get_backend(name: str | None = None):
+    """The backend module serving *name* (default: configured/auto)."""
+    return _BACKENDS[resolve_name(name)]
+
+
+def set_backend(name: str | None) -> str:
+    """Set the process-wide backend; ``None``/"auto" restores auto.
+
+    Returns the name that will actually serve calls (after fallback), so
+    callers can record what they really got.
+    """
+    global _EXPLICIT
+    _EXPLICIT = None if name is None else _validate(name)
+    if _EXPLICIT == "auto":
+        _EXPLICIT = None
+    return resolve_name()
+
+
+def active_backend() -> str:
+    """Resolved name of the backend that will serve the next call."""
+    return resolve_name()
+
+
+def warmup(name: str | None = None) -> dict:
+    """One-time JIT warmup of the resolved backend.
+
+    Call before timing anything: JIT compile time is paid here (or never,
+    when ``cache=True`` artifacts exist), not inside solves or benches.
+    """
+    resolved = resolve_name(name)
+    return {"backend": resolved, "seconds": float(_BACKENDS[resolved].warmup())}
+
+
+def reset() -> None:
+    """Clear the explicit selection and fallback-warning memory (tests)."""
+    global _EXPLICIT
+    _EXPLICIT = None
+    _WARNED.clear()
+
+
+def describe() -> dict:
+    """Environment census for bench metadata and obs span attributes."""
+    info: dict = {
+        "active": active_backend(),
+        "available": available_backends(),
+        "explicit": _EXPLICIT,
+        "env": os.environ.get(ENV_VAR),
+    }
+    if numba_backend.is_available():
+        import numba
+
+        info["numba_version"] = numba.__version__
+        info["num_threads"] = int(numba.get_num_threads())
+    return info

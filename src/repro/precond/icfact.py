@@ -55,6 +55,8 @@ import warnings
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
+from repro.kernels import SubstitutionPlan
 from repro.obs import metric_inc, record_span
 from repro.precond.base import Preconditioner
 from repro.resilience.taxonomy import PivotNudgeWarning
@@ -225,6 +227,19 @@ def _pairs_through_edges(indptr, indices, rows, cols, n, chunk=4096):
 def _positions_from_float(data: np.ndarray) -> np.ndarray:
     """Recover the 1-based integer positions smuggled through float data."""
     return np.asarray(np.rint(data), dtype=np.int64) - 1
+
+
+def _row_segments(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stable-sort *keys* and return ``(order, seg_ptr)`` segment bounds.
+
+    Entries sharing a key land in one contiguous segment of ``order``;
+    the parallel factorization kernels dispatch one worker per segment so
+    updates hitting the same destination block never race.
+    """
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    bounds = np.concatenate([[0], np.flatnonzero(np.diff(sk)) + 1, [sk.size]])
+    return order.astype(np.int64), bounds.astype(np.int64)
 
 
 class ICSymbolic:
@@ -471,7 +486,13 @@ class ICSymbolic:
 
     def _build_dmod_updates(self) -> list[list[tuple]]:
         """Per group: gather/scatter maps of the dmod diagonal recurrence
-        ``D_i -= A_ik D_k^{-1} A_ik^T`` (k in earlier groups)."""
+        ``D_i -= A_ik D_k^{-1} A_ik^T`` (k in earlier groups).
+
+        Each shape bucket carries a destination-row segmentation
+        (``order``, ``seg_ptr`` from :func:`_row_segments`) so the JIT
+        backend can parallelize over rows without scatter races; the
+        numpy backend ignores it.
+        """
         L = self.pattern
         offdiag = self._offdiag_positions()
         brow = L.block_rows()
@@ -488,7 +509,10 @@ class ICSymbolic:
                 flat_ik = L.boff[pos, None] + np.arange(si * sk)
                 dflat_k = self.dinv_off[ks, None] + np.arange(sk * sk)
                 diag_dst = L.boff[self.diag_pos[rows], None] + np.arange(si * si)
-                bucket.append((int(si), int(sk), flat_ik, dflat_k, diag_dst))
+                order, seg_ptr = _row_segments(rows)
+                bucket.append(
+                    (int(si), int(sk), flat_ik, dflat_k, diag_dst, order, seg_ptr)
+                )
             out.append(bucket)
         return out
 
@@ -577,7 +601,11 @@ class ICSymbolic:
             flat_jk = L.boff[pjk[idx], None] + np.arange(sj * sk)
             dflat_k = self.dinv_off[tk[idx], None] + np.arange(sk * sk)
             flat_ij = L.boff[pij[idx], None] + np.arange(si * sj)
-            out[g].append((si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij))
+            # destination-block segmentation for race-free prange scatter
+            uorder, seg_ptr = _row_segments(pij[idx])
+            out[g].append(
+                (si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij, uorder, seg_ptr)
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -899,12 +927,16 @@ class BlockICFactorization(Preconditioner):
         self.L.data[:] = 0.0
         self.L.data[sym.scatter_dst] = a.data[sym.scatter_src]
 
+        # the backend is resolved once per factorization: the update
+        # sweeps and the compiled-operator fold all run on it
+        backend = kernels.get_backend()
+        self.kernel_backend = backend.NAME
         self.breakdown_count = 0
         self.nudged_block_sizes: list[int] = []
         if self.variant == "dmod":
-            self._factor_dmod()
+            self._factor_dmod(backend)
         else:
-            self._factor_full()
+            self._factor_full(backend)
         self._warn_on_pivot_nudges()
         self._build_apply_ops()
         # the lazy reference/apply_m structures cache gathered block
@@ -923,6 +955,7 @@ class BlockICFactorization(Preconditioner):
             precond=self.name,
             shift=self._shift,
             pivot_nudges=self.breakdown_count,
+            kernel_backend=self.kernel_backend,
         )
         return self
 
@@ -945,32 +978,27 @@ class BlockICFactorization(Preconditioner):
             inv = np.linalg.inv(blocks)
             self._dinv[dst.reshape(-1)] = inv.reshape(-1)
 
-    def _factor_dmod(self) -> None:
+    def _factor_dmod(self, backend) -> None:
         """GeoFEM pseudo-IC(0): refactorize diagonals only.
 
-        Pure batched gather / matmul / scatter over the index maps fixed
-        in the symbolic phase — no per-call bucketing or index building.
+        The per-bucket update sweep (gather / matmul / scatter over the
+        index maps fixed in the symbolic phase) is dispatched through the
+        kernel *backend* — batched numpy, or a ``prange`` over
+        destination-row segments under numba.
         """
         data = self.L.data
         for g in range(len(self.schedule)):
-            for si, sk, flat_ik, dflat_k, diag_dst in self.symbolic.dmod_updates[g]:
-                aik = data[flat_ik].reshape(-1, si, sk)
-                dk = self._dinv[dflat_k].reshape(-1, sk, sk)
-                upd = np.matmul(np.matmul(aik, dk), aik.transpose(0, 2, 1))
-                np.add.at(data, diag_dst.reshape(-1), -upd.reshape(-1))
+            for bucket in self.symbolic.dmod_updates[g]:
+                backend.dmod_update(data, self._dinv, bucket)
             self._invert_group_diag(g)
 
-    def _factor_full(self) -> None:
+    def _factor_full(self, backend) -> None:
         """True block IC(k): update off-diagonal and fill blocks too."""
         data = self.L.data
         for g in range(len(self.schedule)):
             self._invert_group_diag(g)
-            for si, sk, sj, flat_ik, flat_jk, dflat_k, flat_ij in self.symbolic.full_updates[g]:
-                vik = data[flat_ik].reshape(-1, si, sk)
-                vjk = data[flat_jk].reshape(-1, sj, sk)
-                dk = self._dinv[dflat_k].reshape(-1, sk, sk)
-                upd = np.matmul(np.matmul(vik, dk), vjk.transpose(0, 2, 1))
-                np.add.at(data, flat_ij.reshape(-1), -upd.reshape(-1))
+            for bucket in self.symbolic.full_updates[g]:
+                backend.full_update(data, self._dinv, bucket)
 
     @property
     def pivot_nudge_count(self) -> int:
@@ -1061,29 +1089,41 @@ class BlockICFactorization(Preconditioner):
                     ops.append(_sorted_csr(dinv_g @ mat))
         aptr, aind, asrc, ashape = sym.dinv_all_struct
         self._dinv_all = sp.csr_matrix((self._dinv[asrc], aind, aptr), shape=ashape)
+        self._plan = SubstitutionPlan(
+            ndof=self.ndof,
+            sels=self._group_sel,
+            fwd_ops=self._fwd_ops,
+            bwd_ops=self._bwd_ops,
+            dinv_all=self._dinv_all,
+        )
+
+    def warmup(self) -> "BlockICFactorization":
+        """Pay every lazy/one-time cost now, off the timed path.
+
+        Triggers the active backend's JIT compilation, the flat-plan
+        concatenation, and one full apply, so steady-state measurements
+        (and latency-sensitive first solves) see none of them.  Returns
+        ``self`` for chaining.
+        """
+        kernels.warmup()
+        self.apply(np.zeros(self.ndof))
+        return self
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``z = M^{-1} r`` via the compiled per-group CSR kernels.
+        """``z = M^{-1} r`` via the compiled per-group substitution kernels.
 
-        Passing ``out`` reuses the caller's buffer for the result; all
-        internal work vectors are preallocated, so repeated applies do no
-        O(ndof) allocation beyond the (optional) output.
+        The sweep itself is served by the active kernel backend
+        (:mod:`repro.kernels`): per-group scipy CSR matvecs on numpy, one
+        flat ``prange``-parallel kernel call on numba.  Passing ``out``
+        reuses the caller's buffer for the result; internal work vectors
+        are preallocated, so repeated applies do no O(ndof) allocation
+        beyond the sweep output.
         """
         r = np.asarray(r, dtype=np.float64)
         if r.shape != (self.ndof,):
             raise ValueError(f"r must have shape ({self.ndof},), got {r.shape}")
         np.take(r, self.perm_dof, out=self._rp)
-        sels = self._group_sel
-        # seed with the whole-vector diagonal solve, then sweep in place:
-        # forward  y_g = Dinv_g r_g - (Dinv_g L_g) y   (columns: earlier groups)
-        # backward z_g = y_g - (Dinv_g L_g^T) z        (columns: later groups)
-        y = self._dinv_all @ self._rp
-        for sel, op in zip(sels, self._fwd_ops):
-            if op is not None:
-                y[sel] -= op @ y
-        for sel, op in zip(reversed(sels), reversed(self._bwd_ops)):
-            if op is not None:
-                y[sel] -= op @ y
+        y = kernels.get_backend().apply_substitution(self._plan, self._rp)
         if out is None:
             out = np.empty(self.ndof)
         out[self.perm_dof] = y

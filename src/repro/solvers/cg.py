@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.obs import session as obs_session, span as obs_span
 from repro.precond.base import IdentityPreconditioner, Preconditioner
 from repro.resilience.taxonomy import FailureReason, SolveReport
@@ -179,7 +180,13 @@ def cg_solve(
     # captured once: the disabled path costs one `is None` test per iteration
     sess = obs_session()
     pname = getattr(m, "name", type(m).__name__)
-    with obs_span("cg_solve", ndof=n, precond=pname, eps=eps), timer:
+    with obs_span(
+        "cg_solve",
+        ndof=n,
+        precond=pname,
+        eps=eps,
+        kernel_backend=kernels.active_backend(),
+    ), timer:
         t_start = time.perf_counter()
         r = b - matvec(x)
         z = m.apply(r)
@@ -266,13 +273,18 @@ def cg_solve(
 
 
 def _as_matvec(a):
-    """Uniform matvec adapter for the matrix types the stack uses."""
+    """Uniform matvec adapter for the matrix types the stack uses.
+
+    Sparse products go through the kernel registry
+    (:mod:`repro.kernels`), resolved per call so a backend switch takes
+    effect mid-session; the numpy backend serves the native scipy
+    products, numba a row-parallel JIT kernel.
+    """
     if sp.issparse(a):
         a_csr = a.tocsr()
-        return lambda v: a_csr @ v
-    if hasattr(a, "to_bsr"):  # BCSRMatrix: BSR matvec is the fast path
-        bsr = a.to_bsr()
-        return lambda v: bsr @ v
+        return lambda v: kernels.get_backend().csr_matvec(a_csr, v)
+    if hasattr(a, "to_bsr"):  # BCSRMatrix: block matvec is the fast path
+        return lambda v: kernels.get_backend().bcsr_matvec(a, v)
     if hasattr(a, "matvec"):
         return a.matvec
     if isinstance(a, np.ndarray):

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.utils.validate import check_index_array, check_permutation
 
 
@@ -147,11 +148,15 @@ class BCSRMatrix:
     # -- operations ------------------------------------------------------
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Matrix-vector product on a flat DOF vector of length ``n * b``."""
+        """Matrix-vector product on a flat DOF vector of length ``n * b``.
+
+        Dispatched through the kernel registry: the scipy BSR product on
+        the numpy backend, a block-row-parallel JIT kernel on numba.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ndof,):
             raise ValueError(f"x must have shape ({self.ndof},), got {x.shape}")
-        return self.to_bsr() @ x
+        return kernels.get_backend().bcsr_matvec(self, x)
 
     def diagonal_blocks(self) -> np.ndarray:
         """``(n, b, b)`` array of diagonal blocks (copies)."""

@@ -1,0 +1,365 @@
+"""The kernel registry (repro.kernels): selection, fallback, parity.
+
+Three layers of coverage:
+
+1. **Registry semantics** — backend resolution precedence (explicit arg >
+   ``set_backend`` > ``REPRO_KERNEL_BACKEND`` > auto), the numba -> numpy
+   fallback with exactly one logged warning, and the uniform
+   warmup/describe surface.
+2. **Cross-backend parity** — every backend's kernels against the
+   bucketed ``reference_apply`` oracle (and each other) to <= 1e-13,
+   across preconditioner families, color counts, input dtypes, and the
+   diagonal-only / empty-group edge cases.  The numba backend degrades
+   to plain-Python kernels when numba is absent (identity ``_jit``,
+   ``prange = range``), so its *logic* is exercised here even in a
+   numpy-only environment.
+3. **Plan layouts** — the lazily-built :class:`FlatSweep` concatenation
+   must describe exactly the same operators as the scipy layout.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import kernels
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+from repro.kernels import numba_backend, numpy_backend, registry
+from repro.precond import bic, sb_bic0, scalar_ic0
+from repro.solvers.cg import cg_solve
+from repro.sparse.bcsr import BCSRMatrix
+from repro.sparse.vbr import VBRMatrix
+
+BACKEND_MODULES = {"numpy": numpy_backend, "numba": numba_backend}
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Isolate every test from process-wide backend state."""
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    kernels.reset()
+    yield
+    kernels.reset()
+
+
+def spd_csr(ndof, seed, density=0.25):
+    m = sp.random(
+        ndof, ndof, density=density, random_state=np.random.RandomState(seed)
+    )
+    a = (m + m.T).tocsr()
+    a.setdiag(np.asarray(abs(a).sum(axis=1)).reshape(-1) + 1.0)
+    a.sum_duplicates()
+    a.sort_indices()
+    return a
+
+
+def backend_apply(mod, m, r):
+    """Drive one factorization apply through a specific backend module."""
+    y = mod.apply_substitution(m._plan, np.asarray(r, dtype=np.float64)[m.perm_dof])
+    out = np.empty(m.ndof)
+    out[m.perm_dof] = y
+    return out
+
+
+def assert_close(got, want, rtol=1e-13):
+    scale = max(1.0, float(np.linalg.norm(want)))
+    assert float(np.linalg.norm(got - want)) <= rtol * scale
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in kernels.available_backends()
+        assert numpy_backend.is_available()
+
+    def test_auto_prefers_numba_when_importable(self, monkeypatch):
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        assert kernels.resolve_name() == "numba"
+        monkeypatch.setattr(numba_backend, "is_available", lambda: False)
+        assert kernels.resolve_name() == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        assert kernels.active_backend() == "numpy"
+
+    def test_set_backend_beats_env(self, monkeypatch):
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        assert kernels.set_backend("numba") == "numba"
+        assert kernels.active_backend() == "numba"
+        assert kernels.get_backend() is numba_backend
+
+    def test_explicit_arg_beats_set_backend(self, monkeypatch):
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        kernels.set_backend("numba")
+        assert kernels.resolve_name("numpy") == "numpy"
+        assert kernels.get_backend("numpy") is numpy_backend
+
+    def test_set_backend_none_or_auto_restores_auto(self, monkeypatch):
+        kernels.set_backend("numpy")
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        assert kernels.active_backend() == "numpy"
+        kernels.set_backend(None)
+        assert kernels.active_backend() == "numba"
+        kernels.set_backend("numpy")
+        kernels.set_backend("auto")
+        assert kernels.active_backend() == "numba"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.resolve_name("fortran")
+
+    def test_fallback_to_numpy_warns_once(self, monkeypatch, caplog):
+        """Requesting numba without numba serves numpy, one warning total."""
+        monkeypatch.setattr(numba_backend, "is_available", lambda: False)
+        kernels.set_backend("numba")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert kernels.active_backend() == "numpy"
+            assert kernels.get_backend() is numpy_backend
+            kernels.get_backend()  # second resolution: no second warning
+        warnings = [r for r in caplog.records if "falling back" in r.message]
+        assert len(warnings) == 1
+        assert "numba" in warnings[0].getMessage()
+
+    def test_fallback_dispatch_is_silent_and_correct(self, monkeypatch, caplog):
+        """A whole solve under a failed numba request runs on numpy."""
+        monkeypatch.setattr(numba_backend, "is_available", lambda: False)
+        monkeypatch.setenv(kernels.ENV_VAR, "numba")
+        a = spd_csr(36, 3)
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            m = bic(a, fill_level=0)
+            assert m.kernel_backend == "numpy"
+            r = np.random.default_rng(0).normal(size=36)
+            assert_close(m.apply(r), m.reference_apply(r))
+        assert sum("falling back" in r.message for r in caplog.records) == 1
+
+    def test_warmup_reports_backend(self):
+        info = kernels.warmup("numpy")
+        assert info == {"backend": "numpy", "seconds": 0.0}
+
+    def test_describe_census(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        kernels.set_backend("numpy")
+        info = kernels.describe()
+        assert info["active"] == "numpy"
+        assert info["explicit"] == "numpy"
+        assert info["env"] == "numpy"
+        assert "numpy" in info["available"]
+
+    def test_cli_flag_sets_backend(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["solve", "--model", "block", "--scale", "0.3",
+             "--kernel-backend", "numpy"]
+        )
+        assert rc == 0
+        assert "kernel backend: numpy" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# cross-backend parity vs the bucketed reference oracle
+# ----------------------------------------------------------------------
+
+FAMILIES = {
+    "ic0-scalar": lambda a: scalar_ic0(a),
+    "bic0-dmod": lambda a: bic(a, fill_level=0, variant="dmod"),
+    "bic0-full": lambda a: bic(a, fill_level=0, variant="full"),
+    "bic1": lambda a: bic(a, fill_level=1),
+}
+
+
+class TestApplyParity:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_MODULES))
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_matches_reference(self, family, backend):
+        a = spd_csr(36, hash(family) % 1000)
+        m = FAMILIES[family](a)
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            r = rng.normal(size=36)
+            assert_close(backend_apply(BACKEND_MODULES[backend], m, r),
+                         m.reference_apply(r))
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_MODULES))
+    @pytest.mark.parametrize("ncolors", [0, 2, 5])
+    def test_color_counts(self, ncolors, backend):
+        """Parity must hold for every multicolor schedule width."""
+        a = spd_csr(45, 7 + ncolors)
+        m = bic(a, fill_level=0, ncolors=ncolors)
+        r = np.random.default_rng(1).normal(size=45)
+        assert_close(backend_apply(BACKEND_MODULES[backend], m, r),
+                     m.reference_apply(r))
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_MODULES))
+    def test_sbbic_contact_problem(self, backend):
+        p = build_contact_problem(simple_block_model(3, 3, 2, 3, 3), penalty=1e6)
+        m = sb_bic0(p.a, p.groups)
+        rng = np.random.default_rng(11)
+        for r in (rng.normal(size=p.ndof), p.b):
+            assert_close(backend_apply(BACKEND_MODULES[backend], m, r),
+                         m.reference_apply(r))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_input_dtypes(self, dtype):
+        """apply() casts once; both backends then see identical float64."""
+        a = spd_csr(30, 9)
+        m = bic(a, fill_level=0)
+        r = np.random.default_rng(2).normal(size=30).astype(dtype)
+        want = m.reference_apply(np.asarray(r, dtype=np.float64))
+        assert_close(m.apply(r), want)
+        assert_close(backend_apply(numba_backend, m, r), want)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_MODULES))
+    def test_diagonal_matrix_empty_groups(self, backend):
+        """A diagonal matrix compiles no substitution operators at all:
+        every group's fwd/bwd op is None (empty FlatSweep row ranges),
+        and M^{-1} r must reduce to the exact diagonal solve."""
+        d = np.linspace(1.0, 5.0, 24)
+        a = sp.diags(d).tocsr()
+        m = scalar_ic0(a)
+        r = np.random.default_rng(3).normal(size=24)
+        got = backend_apply(BACKEND_MODULES[backend], m, r)
+        assert_close(got, r / d)
+        assert_close(got, m.reference_apply(r))
+
+    def test_registry_dispatch_equals_direct_module_call(self):
+        a = spd_csr(36, 13)
+        m = bic(a, fill_level=1)
+        r = np.random.default_rng(5).normal(size=36)
+        kernels.set_backend("numpy")
+        assert np.array_equal(m.apply(r), backend_apply(numpy_backend, m, r))
+
+
+class TestFactorizationParity:
+    """Both backends' numeric update kernels must build the same factor."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_factor_values_agree(self, family, monkeypatch):
+        a = spd_csr(36, hash(family) % 500)
+        kernels.set_backend("numpy")
+        m_np = FAMILIES[family](a)
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        kernels.set_backend("numba")
+        m_nb = FAMILIES[family](a)
+        assert m_np.kernel_backend == "numpy"
+        assert m_nb.kernel_backend == "numba"
+        # summation order differs (batched BLAS vs serial loops): allow a
+        # few ulps, far tighter than any preconditioner quality margin
+        r = np.random.default_rng(6).normal(size=36)
+        assert_close(m_nb.apply(r), m_np.apply(r), rtol=1e-12)
+
+    def test_refactor_through_numba_kernels(self, monkeypatch):
+        """Numeric-only refactorization on the pure-Python JIT kernels."""
+        p = build_contact_problem(simple_block_model(2, 2, 2, 2, 2), penalty=1e4)
+        p2 = build_contact_problem(simple_block_model(2, 2, 2, 2, 2), penalty=1e6)
+        m = sb_bic0(p.a, p.groups)
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        kernels.set_backend("numba")
+        m.refactor(p2.a)
+        assert m.kernel_backend == "numba"
+        m_ref = sb_bic0(p2.a, p2.groups)
+        r = np.random.default_rng(7).normal(size=p.ndof)
+        assert_close(m.apply(r), m_ref.reference_apply(r), rtol=1e-12)
+
+
+class TestMatvecParity:
+    def test_csr_matvec(self):
+        a = spd_csr(50, 21)
+        x = np.random.default_rng(0).normal(size=50)
+        want = a @ x
+        assert_close(numpy_backend.csr_matvec(a, x), want)
+        assert_close(numba_backend.csr_matvec(a, x), want)
+
+    def test_bcsr_matvec(self):
+        a = spd_csr(36, 22)
+        mat = BCSRMatrix.from_scipy(a, b=3)
+        x = np.random.default_rng(1).normal(size=36)
+        want = a @ x
+        assert_close(numpy_backend.bcsr_matvec(mat, x), want)
+        assert_close(numba_backend.bcsr_matvec(mat, x), want)
+
+    def test_vbr_matvec_variable_blocks(self):
+        a = spd_csr(20, 23)
+        supernodes = [
+            np.arange(0, 7), np.arange(7, 9), np.arange(9, 10),
+            np.arange(10, 16), np.arange(16, 20),
+        ]
+        mat = VBRMatrix.from_csr(a, supernodes)
+        x = np.random.default_rng(2).normal(size=20)
+        want = mat.to_csr() @ x
+        assert_close(numpy_backend.vbr_matvec(mat, x), want)
+        assert_close(numba_backend.vbr_matvec(mat, x), want)
+
+    def test_cg_solution_backend_invariant(self, monkeypatch):
+        p = build_contact_problem(simple_block_model(2, 2, 2, 2, 2), penalty=1e5)
+        kernels.set_backend("numpy")
+        res_np = cg_solve(p.a, p.b, sb_bic0(p.a, p.groups))
+        monkeypatch.setattr(numba_backend, "is_available", lambda: True)
+        kernels.set_backend("numba")
+        res_nb = cg_solve(p.a, p.b, sb_bic0(p.a, p.groups))
+        assert res_np.converged and res_nb.converged
+        assert abs(res_np.iterations - res_nb.iterations) <= 1
+        assert np.allclose(res_np.x, res_nb.x,
+                           atol=1e-8 * max(1.0, np.abs(res_np.x).max()))
+
+
+# ----------------------------------------------------------------------
+# plan layouts
+# ----------------------------------------------------------------------
+
+
+class TestFlatSweep:
+    def test_flat_layout_matches_scipy_layout(self):
+        a = spd_csr(36, 31)
+        plan = bic(a, fill_level=1)._plan
+        dptr, dind, ddat, fwd, bwd = plan.flat()
+        got = sp.csr_matrix((ddat, dind, dptr), shape=(plan.ndof, plan.ndof))
+        assert_close(got.toarray(), plan.dinv_all.toarray(), rtol=0.0)
+        for sweep, ops in ((fwd, plan.fwd_ops), (bwd, plan.bwd_ops)):
+            assert sweep.group_ptr.size == len(ops) + 1
+            assert sweep.rows.size == int(sweep.group_ptr[-1])
+            assert sweep.indptr.size == sweep.rows.size + 1
+            t = 0
+            for g, op in enumerate(ops):
+                lo, hi = int(sweep.group_ptr[g]), int(sweep.group_ptr[g + 1])
+                if op is None:
+                    assert lo == hi
+                    continue
+                assert hi - lo == op.shape[0]
+                for local in range(op.shape[0]):
+                    s, e = sweep.indptr[t], sweep.indptr[t + 1]
+                    assert np.array_equal(sweep.indices[s:e],
+                                          op.indices[op.indptr[local]:op.indptr[local + 1]])
+                    assert np.array_equal(sweep.data[s:e],
+                                          op.data[op.indptr[local]:op.indptr[local + 1]])
+                    t += 1
+
+    def test_flat_is_cached(self):
+        plan = bic(spd_csr(24, 32), fill_level=0)._plan
+        assert plan.flat() is plan.flat()
+
+    def test_refactor_rebuilds_plan(self):
+        a1 = spd_csr(30, 33)
+        a2 = a1.copy()  # same pattern, different values (still SPD)
+        a2.setdiag(a1.diagonal() * 2.0)
+        m = bic(a1, fill_level=0)
+        first = m._plan
+        m.refactor(a2)
+        assert m._plan is not first
+        r = np.random.default_rng(8).normal(size=30)
+        assert_close(m.apply(r), m.reference_apply(r))
+
+    def test_precond_warmup_chains(self):
+        m = bic(spd_csr(24, 35), fill_level=0)
+        assert m.warmup() is m
+        assert m._plan._flat is not None or kernels.active_backend() == "numpy"
