@@ -28,6 +28,19 @@ are bit-exact by construction).  Three failure legs:
     from the durable journal; the resumed run must reproduce the
     uninterrupted run bit-for-bit.
 
+``--transport process`` re-runs the matrix over the **real-process
+transport** (:mod:`repro.parallel.transport`), where nothing is
+simulated: the ``rank_kill`` leg SIGKILLs a live worker OS process
+mid-solve (detection via deadline + ``Process.is_alive``, recovery via a
+forked replacement on the same pipes), a ``comm_timeout`` leg wedges a
+worker past the whole deadline/retry budget (detected as
+``COMM_TIMEOUT``, recovered by rollback without a respawn), and the
+``process_kill`` leg forks the ALM outer loop as a genuine child process
+and SIGKILLs it after a journaled cycle.  Recovery in process mode
+demands **bit-exact** agreement with the undisturbed lockstep run
+(rel err == 0.0) — the determinism gate makes the two transports
+interchangeable references.
+
 Any miss is a non-zero exit.  ``--quick`` shrinks the matrix for CI
 (also exercised by ``tests/test_failure_sweep.py``).
 
@@ -35,6 +48,7 @@ Usage::
 
     PYTHONPATH=src python scripts/failure_sweep.py            # full sweep
     PYTHONPATH=src python scripts/failure_sweep.py --quick    # CI smoke
+    PYTHONPATH=src python scripts/failure_sweep.py --transport process --quick
 """
 
 from __future__ import annotations
@@ -87,8 +101,68 @@ def _relerr(x, ref):
     return float(np.linalg.norm(x - ref) / denom)
 
 
-def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
-    """Execute the three-leg matrix; returns a JSON-printable summary."""
+def _alm_child(nl_args, factory, ck, kill_cycle, conn):
+    """Child body for the real process-kill leg: run the journaled ALM
+    loop and, once the kill cycle's journal entry is durable, tell the
+    parent we're ready to die and block until the SIGKILL lands."""
+    import time as _time
+
+    from repro.fem.nonlinear import solve_nonlinear_contact as _solve
+
+    def ready(cycle, info):
+        if cycle == kill_cycle:
+            conn.send(cycle)
+            _time.sleep(600)  # killed long before this expires
+
+    _solve(*nl_args, factory, max_cycles=30, checkpoint_path=ck,
+           cycle_callback=ready)
+
+
+def _fork_and_sigkill_alm(nl_args, factory, ck, kill_cycle) -> bool:
+    """Fork the ALM outer loop as a real OS process and SIGKILL it after
+    cycle *kill_cycle*'s journal write.  Returns True when the child was
+    genuinely kill-9'ed (negative exit code), i.e. died non-gracefully."""
+    import multiprocessing as mp
+    import os
+    import signal
+
+    ctx = mp.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(
+        target=_alm_child,
+        args=(nl_args, factory, ck, kill_cycle, child_conn),
+        daemon=True,
+    )
+    proc.start()
+    if not parent_conn.poll(300):
+        proc.kill()
+        proc.join()
+        raise RuntimeError("ALM child never reached its kill cycle")
+    parent_conn.recv()
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=30)
+    killed = proc.exitcode == -signal.SIGKILL
+    parent_conn.close()
+    child_conn.close()
+    return killed
+
+
+def run_sweep(
+    *, quick: bool = False, ndomains: int = 3, transport: str = "lockstep"
+) -> dict:
+    """Execute the three-leg matrix; returns a JSON-printable summary.
+
+    ``transport="lockstep"`` injects failures into the emulated
+    communicator wrappers (``DeadRankComm`` / ``FaultyComm``);
+    ``transport="process"`` runs the solver over real forked worker
+    processes and makes the failures genuine (SIGKILL, wedged worker,
+    killed ALM child).  The fault-free references are always computed on
+    lockstep — the determinism gate guarantees the process transport
+    reproduces them bit-for-bit, which is why process-mode recovery is
+    held to rel err == 0.0.
+    """
+    if transport not in ("lockstep", "process"):
+        raise ValueError(f"unknown sweep transport {transport!r}")
     if quick:
         mesh = simple_block_model(3, 3, 2, 3, 3)
         seeds = (7,)
@@ -110,31 +184,43 @@ def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
     runs = []
 
     # leg 1: rank kill + local-failure-local-recovery ------------------
+    # lockstep: DeadRankComm simulates the dead rank; process: the driver
+    # delivers a genuine SIGKILL to a live worker OS process
     for pname, factory in factories.items():
         for seed in seeds:
             for slot in kill_slots:
                 victim = int(np.random.default_rng(seed).integers(ndomains))
                 system = DistributedSystem.from_global(
-                    problem.a, problem.b, part, factory
+                    problem.a,
+                    problem.b,
+                    part,
+                    factory,
+                    transport=transport if transport == "process" else None,
                 )
                 system.enable_recovery()
-                system.comm = DeadRankComm(
-                    system.domains, victim=victim, kill_at_exchange=slot
-                )
+                if transport == "process":
+                    system.comm.inject_kill(victim, at_exchange=slot)
+                else:
+                    system.comm = DeadRankComm(
+                        system.domains, victim=victim, kill_at_exchange=slot
+                    )
                 report = SolveReport()
                 res = parallel_cg(
                     system, checkpoint_interval=4, report=report
                 )
                 err = _relerr(res.x, refs[pname].x)
+                err_ok = err == 0.0 if transport == "process" else err <= REL_TOL
                 recovered = (
                     res.converged
                     and len(system.comm.kills) == 1
                     and len(system.comm.revivals) == 1
-                    and err <= REL_TOL
+                    and err_ok
                 )
+                system.close()
                 runs.append(
                     {
                         "leg": "rank_kill",
+                        "transport": transport,
                         "precond": pname,
                         "seed": seed,
                         "slot": slot,
@@ -145,37 +231,84 @@ def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
                     }
                 )
 
-    # leg 2: transient fault -> checkpoint rollback --------------------
-    for pname, factory in factories.items():
-        for seed in seeds:
-            for kind in ("nan", "bitflip"):
+    # leg 2 (lockstep): transient fault -> checkpoint rollback ---------
+    # leg 2 (process): wedged worker -> COMM_TIMEOUT -> rollback -------
+    if transport == "process":
+        from repro.parallel.transport import TransportPolicy
+
+        # small budget so the sweep doesn't wait out the default 10s
+        # deadline; the injected 4x-budget wedge must trip COMM_TIMEOUT
+        policy = TransportPolicy(deadline=0.6, max_retries=1, backoff=0.05)
+        for pname, factory in factories.items():
+            for seed in seeds:
+                victim = int(np.random.default_rng(seed).integers(ndomains))
                 system = DistributedSystem.from_global(
-                    problem.a, problem.b, part, factory
+                    problem.a,
+                    problem.b,
+                    part,
+                    factory,
+                    transport="process",
+                    transport_opts={"policy": policy},
                 )
-                system.comm = FaultyComm(
-                    system.domains,
-                    [FaultSpec(exchange=kill_slots[0], kind=kind)],
-                    seed=seed,
+                system.comm.inject_worker_fault(
+                    victim, exchange=kill_slots[0], delay=4 * policy.budget()
                 )
                 report = SolveReport()
                 res = parallel_cg(system, checkpoint_interval=4, report=report)
                 err = _relerr(res.x, refs[pname].x)
                 recovered = (
                     res.converged
-                    and len(system.comm.injected) == 1
-                    and err <= REL_TOL
-                    and any(e.kind == "recover" for e in report.events)
+                    and any(
+                        e.reason is FailureReason.COMM_TIMEOUT
+                        for e in report.detections()
+                    )
+                    and err == 0.0
                 )
+                system.close()
                 runs.append(
                     {
-                        "leg": "rollback",
+                        "leg": "comm_timeout",
+                        "transport": transport,
                         "precond": pname,
                         "seed": seed,
-                        "kind": kind,
+                        "victim": victim,
                         "recovered": bool(recovered),
                         "rel_err": err,
+                        "rollbacks": res.rollbacks,
                     }
                 )
+    else:
+        for pname, factory in factories.items():
+            for seed in seeds:
+                for kind in ("nan", "bitflip"):
+                    system = DistributedSystem.from_global(
+                        problem.a, problem.b, part, factory
+                    )
+                    system.comm = FaultyComm(
+                        system.domains,
+                        [FaultSpec(exchange=kill_slots[0], kind=kind)],
+                        seed=seed,
+                    )
+                    report = SolveReport()
+                    res = parallel_cg(system, checkpoint_interval=4, report=report)
+                    err = _relerr(res.x, refs[pname].x)
+                    recovered = (
+                        res.converged
+                        and len(system.comm.injected) == 1
+                        and err <= REL_TOL
+                        and any(e.kind == "recover" for e in report.events)
+                    )
+                    runs.append(
+                        {
+                            "leg": "rollback",
+                            "transport": transport,
+                            "precond": pname,
+                            "seed": seed,
+                            "kind": kind,
+                            "recovered": bool(recovered),
+                            "rel_err": err,
+                        }
+                    )
 
     # leg 3: process kill + durable ALM restart ------------------------
     # the ALM loop needs the penalty-FREE stiffness (it adds its own)
@@ -205,22 +338,27 @@ def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
         for kill_cycle in (1,) if quick else (1, 2):
             with tempfile.TemporaryDirectory() as td:
                 ck = Path(td) / "alm.journal"
-
-                def killer(cycle, info, *, at=kill_cycle):
-                    if cycle == at:
-                        raise SimulatedKill
-
-                killed = False
-                try:
-                    solve_nonlinear_contact(
-                        *nl_args,
-                        factory,
-                        max_cycles=30,
-                        checkpoint_path=ck,
-                        cycle_callback=killer,
+                if transport == "process":
+                    killed = _fork_and_sigkill_alm(
+                        nl_args, factory, ck, kill_cycle
                     )
-                except SimulatedKill:
-                    killed = True
+                else:
+
+                    def killer(cycle, info, *, at=kill_cycle):
+                        if cycle == at:
+                            raise SimulatedKill
+
+                    killed = False
+                    try:
+                        solve_nonlinear_contact(
+                            *nl_args,
+                            factory,
+                            max_cycles=30,
+                            checkpoint_path=ck,
+                            cycle_callback=killer,
+                        )
+                    except SimulatedKill:
+                        killed = True
                 res_nl = solve_nonlinear_contact(
                     *nl_args, factory, max_cycles=30, checkpoint_path=ck
                 )
@@ -230,11 +368,12 @@ def run_sweep(*, quick: bool = False, ndomains: int = 3) -> dict:
                     and res_nl.converged == ref_nl.converged
                     and res_nl.cycles == ref_nl.cycles
                     and res_nl.resumed_from_cycle == kill_cycle
-                    and err <= REL_TOL
+                    and err <= (0.0 if transport == "process" else REL_TOL)
                 )
                 runs.append(
                     {
                         "leg": "process_kill",
+                        "transport": transport,
                         "precond": pname,
                         "kill_cycle": kill_cycle,
                         "killed": bool(killed),
@@ -258,6 +397,12 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="small CI-smoke matrix")
     ap.add_argument("--ndomains", type=int, default=3)
+    ap.add_argument(
+        "--transport", default="lockstep", choices=["lockstep", "process"],
+        help="communication fabric: 'process' makes every failure genuine "
+        "(real SIGKILL of worker/ALM processes, real wedged-worker "
+        "timeouts) and holds recovery to bit-exact agreement",
+    )
     ap.add_argument("--json", action="store_true", help="dump full JSON summary")
     ap.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -267,11 +412,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace is not None:
         with obs.observe() as sess:
-            summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
+            summary = run_sweep(quick=args.quick, ndomains=args.ndomains, transport=args.transport)
         obs.export_chrome_trace(sess.tracer, args.trace, sess.metrics)
         print(f"trace written to {args.trace}")
     else:
-        summary = run_sweep(quick=args.quick, ndomains=args.ndomains)
+        summary = run_sweep(quick=args.quick, ndomains=args.ndomains, transport=args.transport)
     if args.json:
         print(json.dumps(summary, indent=2))
     by_leg: dict[str, list] = {}

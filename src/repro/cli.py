@@ -13,6 +13,12 @@ is the dedicated entry point that also prints the span/metric summary
 table.  A ``.jsonl`` suffix selects the JSON-lines exporter, anything
 else gets Chrome trace-event JSON (load it in ``chrome://tracing`` or
 Perfetto).
+
+``solve``/``trace`` also run distributed: ``--transport process``
+partitions the model (RCB, ``--ndomains``) and solves over real forked
+worker processes (:mod:`repro.parallel.transport`); ``--rank-traces
+DIR`` makes each worker export a rank-tagged JSONL trace, merged into
+one Chrome timeline with ``repro trace --merge DIR/trace.rank*.jsonl``.
 """
 
 from __future__ import annotations
@@ -130,6 +136,9 @@ def _run_solve(args) -> int:
         print(f"unknown model {args.model!r}", file=sys.stderr)
         return 2
 
+    if getattr(args, "transport", None):
+        return _run_distributed_solve(args, prob)
+
     makers = {
         "diag": lambda: DiagonalScaling(prob.a),
         "ic0": lambda: scalar_ic0(prob.a),
@@ -149,6 +158,65 @@ def _run_solve(args) -> int:
     return 0 if res.converged else 1
 
 
+def _run_distributed_solve(args, prob) -> int:
+    """Distributed solve over the selected transport (``--transport``)."""
+    from repro.parallel import (
+        DistributedSystem,
+        parallel_cg,
+        partition_nodes_rcb,
+    )
+    from repro.parallel.transport import registry as transport_registry
+    from repro.precond import DiagonalScaling, bic, sb_bic0
+    from repro.precond.localized import restrict_groups
+
+    n_nodes = prob.mesh.n_nodes
+    groups = prob.groups
+    makers = {
+        "diag": lambda sub, nodes: DiagonalScaling(sub),
+        "bic0": lambda sub, nodes: bic(sub, fill_level=0),
+        "bic1": lambda sub, nodes: bic(sub, fill_level=1),
+        "bic2": lambda sub, nodes: bic(sub, fill_level=2),
+        "sbbic0": lambda sub, nodes: sb_bic0(
+            sub, restrict_groups(groups, nodes, n_nodes)
+        ),
+    }
+    if args.precond not in makers:
+        print(
+            f"preconditioner {args.precond!r} has no per-domain (localized) "
+            f"form; choose from {sorted(makers)}",
+            file=sys.stderr,
+        )
+        return 2
+    transport_registry.set_transport(args.transport)
+    resolved = transport_registry.active_transport()
+    opts = {}
+    if resolved == "process" and getattr(args, "rank_traces", None):
+        opts["trace_dir"] = args.rank_traces
+    part = partition_nodes_rcb(prob.mesh.coords, args.ndomains)
+    with DistributedSystem.from_global(
+        prob.a, prob.b, part, makers[args.precond], transport_opts=opts
+    ) as system:
+        res = parallel_cg(system, max_iter=args.max_iter)
+        log = system.comm_log
+        print(
+            f"model: {prob.ndof} DOF, penalty {args.penalty:g}, "
+            f"precond {args.precond}, transport {resolved}, "
+            f"{args.ndomains} domains"
+        )
+        print(res)
+        print(
+            f"comm: {log.n_messages} messages, {log.bytes_sent} bytes, "
+            f"{log.n_allreduce} allreduces"
+        )
+    if resolved == "process" and getattr(args, "rank_traces", None):
+        print(
+            f"per-rank traces in {args.rank_traces} "
+            f"(merge: repro trace --merge {args.rank_traces}/trace.rank*.jsonl "
+            f"--out merged.json)"
+        )
+    return 0 if res.converged else 1
+
+
 def _cmd_solve(args) -> int:
     with _maybe_observe(args.trace):
         rc = _run_solve(args)
@@ -156,6 +224,10 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.merge:
+        out = obs.merge_rank_traces(args.merge, args.out)
+        print(f"merged {len(args.merge)} rank trace(s) into {out}")
+        return 0
     with obs.observe() as sess:
         rc = _run_solve(args)
     print()
@@ -198,6 +270,23 @@ def main(argv: list[str] | None = None) -> int:
             help="kernel backend for the hot loops (default: "
             f"${kernels.ENV_VAR} or auto = numba when importable)",
         )
+        p.add_argument(
+            "--transport", default=None,
+            choices=["lockstep", "process", "mpi"],
+            help="run the solve distributed over this communication "
+            "fabric (default: sequential solve; $REPRO_TRANSPORT also "
+            "selects one)",
+        )
+        p.add_argument(
+            "--ndomains", type=int, default=4,
+            help="domain count for a --transport solve (default 4)",
+        )
+        p.add_argument(
+            "--rank-traces", default=None, metavar="DIR",
+            help="with --transport process: each worker writes its own "
+            "rank-tagged trace.rank<r>.jsonl into DIR "
+            "(merge with: repro trace --merge DIR/trace.rank*.jsonl)",
+        )
 
     p_solve = sub.add_parser("solve", help="solve one model once")
     add_solve_args(p_solve)
@@ -214,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument(
         "--out", default="trace.json", metavar="PATH",
         help="trace output path (default trace.json; .jsonl = JSON-lines)",
+    )
+    p_trace.add_argument(
+        "--merge", default=None, nargs="+", metavar="JSONL",
+        help="merge per-rank JSON-lines traces (written by --rank-traces) "
+        "into one Chrome trace at --out instead of solving",
     )
     p_trace.set_defaults(fn=_cmd_trace)
 

@@ -46,6 +46,7 @@ from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
     export_jsonl,
+    merge_rank_traces,
     summary_table,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -61,6 +62,7 @@ __all__ = [
     "event",
     "export_chrome_trace",
     "export_jsonl",
+    "merge_rank_traces",
     "metric_inc",
     "metric_observe",
     "metric_set",

@@ -28,6 +28,7 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "export_jsonl",
+    "merge_rank_traces",
     "summary_table",
 ]
 
@@ -47,17 +48,104 @@ def _flat(span: Span, t0: float) -> dict:
 
 
 def export_jsonl(
-    tracer: Tracer, path, metrics: MetricsRegistry | None = None
+    tracer: Tracer,
+    path,
+    metrics: MetricsRegistry | None = None,
+    *,
+    rank: int | None = None,
 ) -> Path:
-    """Write the trace as JSON-lines; returns the path written."""
+    """Write the trace as JSON-lines; returns the path written.
+
+    ``rank`` tags every record with the emitting rank and prepends a
+    ``{"kind": "meta", ...}`` record carrying the tracer epoch ``t0``
+    (``time.perf_counter`` — CLOCK_MONOTONIC on Linux, comparable across
+    processes on one machine).  That epoch is what lets
+    :func:`merge_rank_traces` place per-rank files on one absolute
+    timeline."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as fh:
+        if rank is not None:
+            fh.write(
+                json.dumps(
+                    {"kind": "meta", "rank": int(rank), "t0": tracer.t0}
+                )
+                + "\n"
+            )
         for span in tracer.iter_spans():
-            fh.write(json.dumps(_flat(span, tracer.t0)) + "\n")
+            rec = _flat(span, tracer.t0)
+            if rank is not None:
+                rec["rank"] = int(rank)
+            fh.write(json.dumps(rec) + "\n")
         if metrics is not None:
-            fh.write(json.dumps({"kind": "metrics", **metrics.snapshot()}) + "\n")
+            rec = {"kind": "metrics", **metrics.snapshot()}
+            if rank is not None:
+                rec["rank"] = int(rank)
+            fh.write(json.dumps(rec) + "\n")
     return path
+
+
+def merge_rank_traces(paths, out) -> Path:
+    """Merge per-rank JSONL traces into one Chrome trace-event file.
+
+    Input files are the ``trace.rank<r>.jsonl`` exports a process
+    transport's workers write on shutdown (``export_jsonl(...,
+    rank=r)``).  Each rank becomes its own ``pid`` lane (named
+    ``rank <r>`` via process_name metadata); spans become complete
+    ``X`` events.  When every file carries a ``meta`` record with its
+    tracer epoch, timestamps are aligned on the shared monotonic clock,
+    so cross-rank concurrency (which worker served the exchange late)
+    reads directly off the merged timeline; files without one fall back
+    to their own relative time.  Returns the path written."""
+    events: list[dict] = []
+    t0s: dict[int, float] = {}
+    records: list[tuple[int, dict]] = []
+    for i, p in enumerate(paths):
+        with Path(p).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                rank = int(rec.get("rank", i))
+                if rec.get("kind") == "meta":
+                    t0s[rank] = float(rec["t0"])
+                elif rec.get("kind") in ("span", "event"):
+                    records.append((rank, rec))
+    # align on the shared monotonic clock when every rank reported its
+    # epoch; the earliest epoch becomes the merged timeline's zero
+    base = min(t0s.values()) if t0s else 0.0
+    for rank, rec in records:
+        offset = t0s.get(rank, base) - base
+        ts = (rec["t_start_s"] + offset) * 1e6
+        common = {
+            "name": rec["name"],
+            "pid": rank,
+            "tid": rec.get("tid", 0),
+            "ts": ts,
+            "args": rec.get("attrs", {}),
+        }
+        if rec["kind"] == "event" or rec.get("duration_s") is None:
+            events.append({**common, "ph": "i", "s": "t"})
+        else:
+            events.append(
+                {**common, "ph": "X", "dur": rec["duration_s"] * 1e6}
+            )
+    for rank in sorted({r for r, _ in records} | set(t0s)):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+    )
+    return out
 
 
 def chrome_trace_events(

@@ -5,6 +5,12 @@ and explicit communication tables (Figs. 3-4), a lockstep in-process
 communicator standing in for MPI, the contact-aware repartitioner of
 Fig. 8, and a genuinely distributed parallel CG whose iterates match the
 sequential solver bit-for-bit in exact arithmetic.
+
+The communicator is pluggable (:mod:`repro.parallel.transport`): the
+lockstep emulation by default, one forked OS worker process per rank
+with ``--transport process`` / ``REPRO_TRANSPORT=process``, or mpi4py
+when present — all behind the same Comm surface, selected through
+:func:`~repro.parallel.transport.registry.create_transport`.
 """
 
 from repro.parallel.partition import (
@@ -18,6 +24,13 @@ from repro.parallel.contact_partition import (
 )
 from repro.parallel.comm import CommLog, LockstepComm
 from repro.parallel.distributed import DistributedSystem, parallel_cg
+from repro.parallel.transport import (
+    ProcessTransport,
+    TransportPolicy,
+    available_transports,
+    create_transport,
+    set_transport,
+)
 
 __all__ = [
     "LocalDomain",
@@ -29,4 +42,9 @@ __all__ = [
     "LockstepComm",
     "DistributedSystem",
     "parallel_cg",
+    "ProcessTransport",
+    "TransportPolicy",
+    "available_transports",
+    "create_transport",
+    "set_transport",
 ]

@@ -47,6 +47,14 @@ class CommLog:
     solve; ``per_exchange_bytes`` retains only the most recent
     ``PER_EXCHANGE_RETENTION`` exchange totals (pass a different
     ``deque`` — e.g. ``deque(maxlen=None)`` — to change the retention).
+
+    ``rank`` identifies the emitting rank for per-worker logs kept by the
+    real-process transport (:mod:`repro.parallel.transport`): when set,
+    every forwarded ``comm.*`` metric carries a ``rank`` label, and
+    :meth:`merge` folds the per-rank censuses back into the aggregate
+    view ``LockstepComm`` reports.  ``None`` means "aggregate over all
+    ranks" (the lockstep emulation, or a merged census).  The log is
+    picklable — worker processes ship theirs back over a pipe.
     """
 
     n_messages: int = 0
@@ -56,6 +64,7 @@ class CommLog:
     per_exchange_bytes: deque[int] = field(
         default_factory=lambda: deque(maxlen=PER_EXCHANGE_RETENTION)
     )
+    rank: int | None = None
 
     def record_exchange(self, messages: list[int]) -> int:
         """Tally one boundary exchange; returns its total byte count."""
@@ -64,15 +73,60 @@ class CommLog:
         self.bytes_sent += total
         self.per_exchange_bytes.append(total)
         if obs_session() is not None:
-            metric_inc("comm.exchanges")
-            metric_inc("comm.messages", len(messages))
-            metric_inc("comm.bytes", total)
-            metric_observe("comm.exchange_bytes", total)
+            labels = {} if self.rank is None else {"rank": self.rank}
+            metric_inc("comm.exchanges", **labels)
+            metric_inc("comm.messages", len(messages), **labels)
+            metric_inc("comm.bytes", total, **labels)
+            metric_observe("comm.exchange_bytes", total, **labels)
         return total
 
     def record_allreduce(self) -> None:
         self.n_allreduce += 1
-        metric_inc("comm.allreduces")
+        if self.rank is None:
+            metric_inc("comm.allreduces")
+        else:
+            metric_inc("comm.allreduces", rank=self.rank)
+
+    def merge(self, other: "CommLog") -> "CommLog":
+        """Fold another census into this one; returns ``self``.
+
+        Designed so per-rank worker logs reduce to the aggregate census
+        the lockstep emulation reports, which requires two different
+        merge rules:
+
+        - ``n_messages`` / ``bytes_sent`` count *edges*, which are
+          disjoint across ranks (each rank logs only what it received)
+          → **summed**;
+        - ``n_allreduce`` counts *collectives*, which every rank logs
+          once → **max** (all equal in a healthy run), so merging four
+          workers' logs does not quadruple the allreduce census;
+        - ``max_neighbor_count`` is already a maximum → **max** (a plain
+          counter sum would not survive the merge);
+        - ``per_exchange_bytes`` entries describe the same exchange
+          sequence on every rank → element-wise sum, aligned at the most
+          recent entry (shorter series zero-pad at the old end, matching
+          the deque's drop-oldest retention).
+
+        The merged log is an aggregate, so ``rank`` is cleared unless
+        both sides tagged the same rank.
+        """
+        self.n_messages += other.n_messages
+        self.bytes_sent += other.bytes_sent
+        self.n_allreduce = max(self.n_allreduce, other.n_allreduce)
+        self.max_neighbor_count = max(
+            self.max_neighbor_count, other.max_neighbor_count
+        )
+        mine, theirs = list(self.per_exchange_bytes), list(other.per_exchange_bytes)
+        n = max(len(mine), len(theirs))
+        mine = [0] * (n - len(mine)) + mine
+        theirs = [0] * (n - len(theirs)) + theirs
+        maxlen = self.per_exchange_bytes.maxlen
+        self.per_exchange_bytes = deque(
+            (a + b for a, b in zip(mine, theirs)), maxlen=maxlen
+        )
+        if self.rank != other.rank:
+            self.rank = None
+        return self
 
 
 class LockstepComm:
@@ -97,7 +151,10 @@ class LockstepComm:
         """
         if len(vectors) != self.size:
             raise ValueError(f"expected {self.size} vectors, got {len(vectors)}")
-        with span("halo_exchange") as sp:
+        # rank=-1: the lockstep emulation performs every rank's exchange
+        # in one place; real transports emit one rank-tagged span per
+        # worker instead (see repro.parallel.transport).
+        with span("halo_exchange", rank=-1) as sp:
             messages = []
             for d, dom in enumerate(self.domains):
                 for owner, ext_local in dom.recv_tables.items():

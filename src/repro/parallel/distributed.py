@@ -33,7 +33,12 @@ from repro.obs import (
 from repro.parallel.comm import CommLog, LockstepComm
 from repro.parallel.partition import LocalDomain, build_domains
 from repro.precond.base import Preconditioner
-from repro.resilience.taxonomy import FailureReason, RankFailure, SolveReport
+from repro.resilience.taxonomy import (
+    CommTimeout,
+    FailureReason,
+    RankFailure,
+    SolveReport,
+)
 from repro.solvers.cg import CGResult, _stagnated, _supports_out, check_finite_vector
 from repro.sparse.patterns import position_matrix, positions_from_data
 from repro.utils.timing import Timer
@@ -76,6 +81,9 @@ class DistributedSystem:
         node_domain: np.ndarray,
         precond_factory: LocalPrecondFactory,
         b: int = 3,
+        *,
+        transport: str | None = None,
+        transport_opts: dict | None = None,
     ) -> "DistributedSystem":
         """Partition a global system and build per-domain preconditioners.
 
@@ -83,10 +91,21 @@ class DistributedSystem:
         sub-matrix (external couplings dropped — the localized
         preconditioning of section 2.2) plus the global ids of the
         domain's nodes.
+
+        ``transport`` selects the communication fabric through the
+        registry (:mod:`repro.parallel.transport.registry`): explicit
+        argument > process-wide ``set_transport`` (CLI ``--transport``) >
+        ``REPRO_TRANSPORT`` env var > the lockstep emulation.
+        ``transport_opts`` forwards backend knobs (e.g. ``policy`` /
+        ``trace_dir`` for the process transport).  Real transports own OS
+        resources — call :meth:`close` (or use the system as a context
+        manager) when done.
         """
+        from repro.parallel.transport.registry import create_transport
+
         a = check_square_csr(a)
         domains = build_domains(a, node_domain, b=b)
-        comm = LockstepComm(domains)
+        comm = create_transport(domains, transport, **(transport_opts or {}))
         preconds, b_parts, local_internals = [], [], []
         for dom in domains:
             ni_dof = dom.n_internal * b
@@ -268,6 +287,22 @@ class DistributedSystem:
     def comm_log(self) -> CommLog:
         return self.comm.log
 
+    # -- lifecycle (real transports own worker processes) ---------------
+
+    def close(self) -> None:
+        """Release the transport's OS resources (workers, pipes).
+
+        A no-op for the lockstep emulation; idempotent everywhere, so the
+        context-manager form is safe regardless of transport."""
+        if hasattr(self.comm, "close"):
+            self.comm.close()
+
+    def __enter__(self) -> "DistributedSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 def _clone_domain(dom: LocalDomain) -> LocalDomain:
     """Deep copy with fresh buffers — the recovery store's in-memory stand-in
@@ -328,6 +363,10 @@ def parallel_cg(
     - a transient ``COMM_FAULT`` (corrupted halo) rolls every rank back
       to the last snapshot and re-executes — the retried exchanges are
       clean, so the iterates rejoin the fault-free trajectory exactly;
+    - a :class:`~repro.resilience.taxonomy.CommTimeout` (a real
+      transport's deadline/retry budget exhausted while every peer stayed
+      alive) likewise rolls back and re-executes — no rank state was
+      lost, so no respawn is involved;
     - a persistent :class:`~repro.resilience.taxonomy.RankFailure`
       (heartbeat probe exhausted; see
       :class:`~repro.resilience.faults.DeadRankComm`) first rebuilds the
@@ -442,8 +481,30 @@ def parallel_cg(
             while not converged and it < max_iter:
                 if store is not None and store.due(it):
                     store.save(it, x, r, p, rz, len(history))
+                # One guard around the whole iteration body: with a real
+                # transport, not just the matvec's exchange but *every*
+                # reduction (pq, fused rr/rz) can raise.  A mid-iteration
+                # failure may leave x/r half-updated — harmless, because
+                # every recovery path below goes through rollback(),
+                # which restores the full Krylov state from the snapshot.
                 try:
                     q = matvec(p)
+                    pq = dot(p, q)
+                    if not np.isfinite(pq):
+                        reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
+                        break
+                    if pq <= 0:
+                        reason = detect(
+                            FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
+                        )
+                        break
+                    alpha = rz / pq
+                    for d in range(nd):
+                        x[d] += alpha * p[d]
+                        r[d] -= alpha * q[d]
+                    it += 1
+                    z = precond(r, z)
+                    rr, rz_new = dot2(r, r, r, z)
                 except RankFailure as fail:
                     reason = detect(
                         FailureReason.RANK_FAILURE,
@@ -457,6 +518,25 @@ def parallel_cg(
                         and system.can_recover
                     ):
                         system.recover_rank(fail.rank, report=report)
+                        rollback()
+                        rollbacks += 1
+                        reason = None
+                        continue
+                    break
+                except CommTimeout as slow:
+                    # peers alive, deadline budget exhausted: no state was
+                    # lost, so roll back and re-execute — no respawn
+                    reason = detect(
+                        FailureReason.COMM_TIMEOUT,
+                        it,
+                        f"{slow.op} missed deadline {slow.attempts}x "
+                        f"(rank(s) {slow.pending} alive but silent)",
+                    )
+                    if (
+                        store is not None
+                        and store.latest is not None
+                        and rollbacks < max_rollbacks
+                    ):
                         rollback()
                         rollbacks += 1
                         reason = None
@@ -478,22 +558,6 @@ def parallel_cg(
                         reason = None
                         continue
                     break
-                pq = dot(p, q)
-                if not np.isfinite(pq):
-                    reason = detect(FailureReason.NAN_DETECTED, it, f"p.q = {pq}")
-                    break
-                if pq <= 0:
-                    reason = detect(
-                        FailureReason.BREAKDOWN_INDEFINITE, it, f"p.q = {pq:.3e}"
-                    )
-                    break
-                alpha = rz / pq
-                for d in range(nd):
-                    x[d] += alpha * p[d]
-                    r[d] -= alpha * q[d]
-                it += 1
-                z = precond(r, z)
-                rr, rz_new = dot2(r, r, r, z)
                 relres = np.sqrt(rr) / bnorm
                 history.append(relres)
                 if sess is not None:
@@ -550,4 +614,5 @@ def parallel_cg(
         setup_seconds=sum(m.setup_seconds for m in system.preconds),
         history=np.asarray(history),
         reason=reason,
+        rollbacks=rollbacks,
     )

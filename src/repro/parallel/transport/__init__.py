@@ -1,0 +1,54 @@
+"""Transport layer: real communication fabrics behind the Comm surface.
+
+Everything above this package talks to a *communicator* — an object with
+the ``LockstepComm`` surface (``exchange_external``, ``allreduce_sum``,
+``allreduce_sum_vec``, ``halo_mismatch``, ``log``).  This package
+provides that surface over fabrics where the failure modes are real:
+
+- :mod:`~repro.parallel.transport.process_backend` — one forked OS
+  worker per rank, shared-memory halo buffers, a binary pipe tree for
+  allreduces.  SIGKILL a worker and the deadline/liveness machinery
+  detects a genuinely dead process;
+- :mod:`~repro.parallel.transport.mpi_backend` — optional mpi4py SPMD
+  backend (guarded import, never a hard dependency);
+- :mod:`~repro.parallel.transport.policy` — the deadline / bounded-retry
+  / exponential-backoff engine every transport operation runs under, and
+  the ``RankFailure`` vs ``CommTimeout`` classification contract;
+- :mod:`~repro.parallel.transport.registry` — selection with the same
+  precedence as the kernel registry: explicit argument > ``--transport``
+  (:func:`set_transport`) > ``REPRO_TRANSPORT`` env var > ``lockstep``.
+
+See DESIGN.md section 13 for the architecture.
+"""
+
+from repro.parallel.transport.policy import (
+    Incomplete,
+    TransportPolicy,
+    run_with_retry,
+)
+from repro.parallel.transport.process_backend import ProcessTransport
+from repro.parallel.transport.registry import (
+    ENV_VAR,
+    active_transport,
+    available_transports,
+    create_transport,
+    describe,
+    reset,
+    resolve_name,
+    set_transport,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Incomplete",
+    "ProcessTransport",
+    "TransportPolicy",
+    "active_transport",
+    "available_transports",
+    "create_transport",
+    "describe",
+    "reset",
+    "resolve_name",
+    "run_with_retry",
+    "set_transport",
+]

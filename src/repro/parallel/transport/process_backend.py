@@ -1,0 +1,675 @@
+"""Real-process transport: shared-memory halos, pipe-tree allreduces.
+
+Architecture: **replicated driver, real workers**.  The driver process
+keeps executing the lockstep CG arithmetic for every domain — which is
+what makes the ``lockstep``/``process`` determinism gate bit-exact — but
+every halo exchange and every allreduce transits genuine OS processes:
+
+- one forked worker per rank owns its domain's communication tables and
+  a per-rank :class:`~repro.parallel.comm.CommLog`;
+- halo values move through per-rank shared-memory buffers
+  (``multiprocessing.RawArray``): the driver publishes each rank's
+  internal DOFs, every worker gathers its external DOFs from its
+  neighbors' buffers (internal and external regions are disjoint, so the
+  concurrent reads/writes are race-free by construction) and acknowledges
+  over its command pipe;
+- allreduces run over a binary **pipe tree** between the workers
+  (parent of rank ``r`` is ``(r - 1) // 2``): contributions travel up as
+  rank-tagged pairs, the root orders them by rank and applies the exact
+  same ``np.sum`` reduction as :class:`~repro.parallel.comm.LockstepComm`
+  — the fixed reduction order that makes process-transport dot products
+  bit-identical to the emulation — and the result is broadcast back down.
+
+Because the workers are real processes, the failure modes are real too:
+
+- a SIGKILLed worker (:meth:`ProcessTransport.inject_kill`, or any
+  external ``kill -9``) simply stops answering; the driver's deadline
+  expires, the liveness probe (``Process.is_alive`` on the actual OS
+  process) reports it dead, and
+  :class:`~repro.resilience.taxonomy.RankFailure` fires.  Recovery
+  (:meth:`~repro.parallel.distributed.DistributedSystem.recover_rank`)
+  calls :meth:`revive`, which forks a replacement worker onto the same
+  pipes and buffers;
+- a wedged-but-alive worker exhausts the retry/backoff budget of
+  :class:`~repro.parallel.transport.policy.TransportPolicy` and surfaces
+  as :class:`~repro.resilience.taxonomy.CommTimeout` — rollback, no
+  respawn;
+- a *merely slow* worker is absorbed by the retries and never becomes a
+  solver-visible failure.
+
+``halo_mismatch`` can no longer peek at owner buffers (they live in
+other processes' working sets): every worker piggybacks two checksums on
+its exchange acknowledgement — one over each payload it *received*, one
+over each payload its neighbors will have *read* from it — and the probe
+compares receiver-side against sender-side sums with zero additional
+messages.
+
+Every protocol message carries a monotonically increasing sequence
+number.  Retries re-issue under a fresh sequence, receivers drop stale
+messages and stash ahead-of-sequence ones, so a worker that wakes up
+late (or a replacement forked mid-solve) re-synchronizes instead of
+corrupting the next collective.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as mp_wait
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.obs import metric_inc, span
+from repro.parallel.comm import CommLog
+from repro.parallel.partition import LocalDomain
+from repro.parallel.transport.policy import (
+    Incomplete,
+    TransportPolicy,
+    run_with_retry,
+)
+
+__all__ = ["ProcessTransport", "is_available"]
+
+
+def is_available() -> bool:
+    """The backend needs ``fork`` (workers inherit pipes and buffers)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _checksum(data: np.ndarray) -> tuple[float, bool]:
+    """Payload checksum: (float64 sum, all-finite flag).
+
+    The sum catches value corruption (a flipped bit moves it), the flag
+    catches NaN/Inf poison (NaN sums are sticky but two NaN sums do not
+    compare unequal the way the probe needs)."""
+    return float(np.sum(data)), bool(np.isfinite(data).all())
+
+
+@dataclass
+class _RankTables:
+    """One worker's communication tables in local-DOF form (precomputed
+    once in the driver so workers do no index arithmetic per exchange)."""
+
+    rank: int
+    # owner -> external DOF slots of *this* rank's vector to fill
+    recv_dofs: dict[int, np.ndarray] = field(default_factory=dict)
+    # owner -> DOF slots of the *owner's* vector to read (their boundary)
+    src_dofs: dict[int, np.ndarray] = field(default_factory=dict)
+    # neighbor -> internal DOF slots of this rank's vector the neighbor reads
+    send_dofs: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def _build_tables(domains: list[LocalDomain]) -> list[_RankTables]:
+    tables = []
+    for d, dom in enumerate(domains):
+        t = _RankTables(rank=d)
+        for owner, ext_local in dom.recv_tables.items():
+            t.recv_dofs[owner] = dom.local_dofs(ext_local)
+            peer = domains[owner]
+            t.src_dofs[owner] = peer.local_dofs(peer.send_tables[d])
+        for nbr, bnd_local in dom.send_tables.items():
+            t.send_dofs[nbr] = dom.local_dofs(bnd_local)
+        tables.append(t)
+    return tables
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+class _TreeTimeout(Exception):
+    """A tree receive outlived the worker-side deadline."""
+
+
+class _OpSuperseded(Exception):
+    """A peer moved on to a newer sequence; abandon the current op."""
+
+
+def _tree_recv(conn: Connection, seq: int, deadline: float, stash: list):
+    """Receive the tree message for *seq*, filtering stale / future ones.
+
+    Messages for an older sequence are dropped (their collective was
+    abandoned by the driver), messages for a newer one are stashed for
+    the command that will need them and the current op is aborted — the
+    peers have already been re-issued."""
+    for i, msg in enumerate(stash):
+        if msg[1] == seq:
+            return stash.pop(i)
+        if msg[1] > seq:
+            raise _OpSuperseded
+    end = time.monotonic() + deadline
+    while True:
+        remaining = end - time.monotonic()
+        if remaining <= 0.0:
+            raise _TreeTimeout
+        if not conn.poll(remaining):
+            raise _TreeTimeout
+        msg = conn.recv()
+        if msg[1] == seq:
+            return msg
+        if msg[1] > seq:
+            stash.append(msg)
+            raise _OpSuperseded
+        # stale (abandoned collective): drop and keep draining
+
+
+def _worker_main(
+    rank: int,
+    tables: _RankTables,
+    bufs: list,
+    size: int,
+    cmd: Connection,
+    parent_conn: Connection | None,
+    child_conns: list[Connection],
+    policy: TransportPolicy,
+    trace_dir: str | None,
+) -> None:
+    """One rank's event loop: serve exchange/allreduce/heartbeat commands.
+
+    Runs in a forked child.  The worker inherits the driver's observability
+    session state, which belongs to another process — drop it and (when
+    per-rank tracing was requested) open this rank's own session, exported
+    as ``trace.rank<r>.jsonl`` on graceful shutdown.
+    """
+    obs.disable()
+    sess = obs.enable() if trace_dir else None
+    views = [np.frombuffer(b, dtype=np.float64) for b in bufs]
+    log = CommLog(rank=rank)
+    log.max_neighbor_count = len(tables.recv_dofs)
+    faults: dict[int, dict] = {}
+    stash_parent: list = []
+    stash_children: list[list] = [[] for _ in child_conns]
+    tree_deadline = policy.worker_deadline
+
+    def do_exchange(seq: int, ex_idx: int) -> None:
+        plan = faults.pop(ex_idx, None)
+        if plan and plan.get("delay"):
+            time.sleep(float(plan["delay"]))
+        with span("halo_exchange", rank=rank) as sp:
+            for owner in sorted(tables.recv_dofs):
+                views[rank][tables.recv_dofs[owner]] = views[owner][
+                    tables.src_dofs[owner]
+                ]
+            if plan and plan.get("corrupt") and tables.recv_dofs:
+                owner = sorted(tables.recv_dofs)[0]
+                dst = tables.recv_dofs[owner]
+                if plan["corrupt"] == "nan":
+                    views[rank][dst[0]] = np.nan
+                else:  # bitflip
+                    raw = np.array([views[rank][dst[0]]])
+                    raw.view(np.int64)[0] ^= np.int64(1) << 40
+                    views[rank][dst[0]] = raw[0]
+            recv_ck = {
+                owner: _checksum(views[rank][dst])
+                for owner, dst in tables.recv_dofs.items()
+            }
+            send_ck = {
+                nbr: _checksum(views[rank][src])
+                for nbr, src in tables.send_dofs.items()
+            }
+            messages = [dst.size * 8 for dst in tables.recv_dofs.values()]
+            total = log.record_exchange(messages)
+            sp.set(messages=len(messages), bytes=total)
+        cmd.send(("ok", seq, (recv_ck, send_ck)))
+
+    def do_allreduce(seq: int, contrib: np.ndarray) -> None:
+        pairs = [(rank, np.asarray(contrib, dtype=np.float64))]
+        for i, cc in enumerate(child_conns):
+            msg = _tree_recv(cc, seq, tree_deadline, stash_children[i])
+            pairs.extend(msg[2])
+        if parent_conn is not None:
+            parent_conn.send(("up", seq, pairs))
+            msg = _tree_recv(parent_conn, seq, tree_deadline, stash_parent)
+            total = msg[2]
+        else:
+            pairs.sort(key=lambda t: t[0])
+            if [t[0] for t in pairs] != list(range(size)):
+                raise RuntimeError(
+                    f"allreduce seq {seq} gathered ranks "
+                    f"{[t[0] for t in pairs]}, expected 0..{size - 1}"
+                )
+            # identical stacking + np.sum as LockstepComm.allreduce_sum_vec:
+            # the fixed rank order at the root is what makes the process
+            # transport bit-identical to the lockstep emulation.
+            stacked = np.asarray([t[1] for t in pairs])
+            total = stacked.sum(axis=0)
+        for cc in child_conns:
+            cc.send(("down", seq, total))
+        log.record_allreduce()
+        cmd.send(("ok", seq, total))
+
+    while True:
+        try:
+            msg = cmd.recv()
+        except (EOFError, OSError):
+            break
+        op, seq = msg[0], msg[1]
+        try:
+            if op == "exchange":
+                do_exchange(seq, msg[2])
+            elif op == "allreduce":
+                do_allreduce(seq, msg[2])
+            elif op == "ping":
+                cmd.send(("ok", seq, rank))
+            elif op == "collect_log":
+                cmd.send(("ok", seq, log))
+            elif op == "inject":
+                faults[int(msg[2]["exchange"])] = dict(msg[2])
+            elif op == "stop":
+                if sess is not None:
+                    from repro.obs.export import export_jsonl
+
+                    export_jsonl(
+                        sess.tracer,
+                        Path(trace_dir) / f"trace.rank{rank}.jsonl",
+                        sess.metrics,
+                        rank=rank,
+                    )
+                cmd.send(("ok", seq, None))
+                break
+            else:
+                cmd.send(("err", seq, f"unknown op {op!r}"))
+        except _TreeTimeout:
+            cmd.send(("err", seq, "tree receive timed out"))
+        except _OpSuperseded:
+            cmd.send(("err", seq, "superseded by a newer sequence"))
+        except Exception as exc:  # keep serving; the driver decides
+            try:
+                cmd.send(("err", seq, f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+
+
+class ProcessTransport:
+    """Boundary exchanges and allreduces over one real worker per rank.
+
+    Same surface as :class:`~repro.parallel.comm.LockstepComm`
+    (``exchange_external`` / ``allreduce_sum`` / ``allreduce_sum_vec`` /
+    ``halo_mismatch`` / ``log``), plus the lifecycle a real fabric needs:
+    ``close()`` (also a context manager), ``revive(rank)`` respawn,
+    ``heartbeat()`` probing, genuine-SIGKILL and worker-delay fault
+    injection, and ``merged_worker_log()`` reducing the per-rank censuses
+    to the aggregate view.
+
+    ``policy`` bounds every operation (deadline / bounded retry /
+    exponential backoff); ``trace_dir`` makes each worker record its own
+    rank-tagged observability session, exported as one JSONL file per
+    rank on close (merge them with ``repro trace --merge``).
+    """
+
+    def __init__(
+        self,
+        domains: list[LocalDomain],
+        *,
+        policy: TransportPolicy | None = None,
+        trace_dir: str | Path | None = None,
+    ) -> None:
+        if not is_available():
+            raise RuntimeError(
+                "the process transport requires the 'fork' start method "
+                "(workers inherit pipes and shared buffers); this platform "
+                "only offers " + str(mp.get_all_start_methods())
+            )
+        self.domains = domains
+        self.policy = policy or TransportPolicy()
+        self.log = CommLog()
+        self.log.max_neighbor_count = max(
+            (len(d.recv_tables) for d in domains), default=0
+        )
+        self._trace_dir = None if trace_dir is None else str(trace_dir)
+        if self._trace_dir is not None:
+            Path(self._trace_dir).mkdir(parents=True, exist_ok=True)
+
+        nd = len(domains)
+        self._tables = _build_tables(domains)
+        self._ni = [dom.n_internal * dom.b for dom in domains]
+        ctx = mp.get_context("fork")
+        self._ctx = ctx
+        self._bufs = [
+            ctx.RawArray("d", dom.n_local * dom.b) for dom in domains
+        ]
+        self._views = [np.frombuffer(b, dtype=np.float64) for b in self._bufs]
+        # command pipes (driver keeps BOTH ends alive: a respawned worker
+        # forked from the driver re-uses the same worker end, and a dead
+        # worker never EOFs the driver — liveness comes from the OS, not
+        # the pipe)
+        pipes = [ctx.Pipe(duplex=True) for _ in range(nd)]
+        self._cmd = [p[0] for p in pipes]
+        self._cmd_worker = [p[1] for p in pipes]
+        # binary pipe tree: edge (parent, child) for every rank > 0
+        self._tree_parent: list[Connection | None] = [None] * nd
+        self._tree_children: list[list[Connection]] = [[] for _ in range(nd)]
+        for child in range(1, nd):
+            parent = (child - 1) // 2
+            a, b = ctx.Pipe(duplex=True)
+            self._tree_children[parent].append(a)
+            self._tree_parent[child] = b
+        self._procs: list[mp.Process | None] = [None] * nd
+        self._seq = 0
+        self._last_checksums: tuple[list, list] | None = None
+        self._kill_plan: dict[int, int] = {}
+        self.exchange_count = 0
+        self.timeout_count = 0
+        self.kills: list[dict] = []
+        self.revivals: list[dict] = []
+        self._closed = False
+        for r in range(nd):
+            self._spawn(r)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.domains)
+
+    def _spawn(self, rank: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                rank,
+                self._tables[rank],
+                self._bufs,
+                self.size,
+                self._cmd_worker[rank],
+                self._tree_parent[rank],
+                self._tree_children[rank],
+                self.policy,
+                self._trace_dir,
+            ),
+            name=f"repro-transport-rank{rank}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[rank] = proc
+
+    def revive(self, rank: int) -> None:
+        """Fork a replacement worker for a dead rank onto the same fabric.
+
+        The recovery hand-off of
+        :meth:`~repro.parallel.distributed.DistributedSystem.recover_rank`:
+        the replacement inherits the rank's pipes and shared buffer from
+        the driver, so the surviving workers need no re-wiring; stale
+        protocol messages from the old incarnation are discarded by
+        sequence number."""
+        proc = self._procs[rank]
+        if proc is not None and proc.is_alive():
+            return
+        self._spawn(rank)
+        self.revivals.append(
+            {"rank": int(rank), "exchange": self.exchange_count}
+        )
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (graceful, then SIGKILL) and release pipes."""
+        if self._closed:
+            return
+        self._closed = True
+        seq = self._next_seq()
+        for r, proc in enumerate(self._procs):
+            if proc is not None and proc.is_alive():
+                try:
+                    self._cmd[r].send(("stop", seq))
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+        for conn in (
+            *self._cmd,
+            *self._cmd_worker,
+            *(c for c in self._tree_parent if c is not None),
+            *(c for cs in self._tree_children for c in cs),
+        ):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProcessTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass
+
+    # -- fault injection (the robustness harness) -----------------------
+
+    def inject_kill(self, rank: int, at_exchange: int) -> None:
+        """SIGKILL the live worker for *rank* at halo exchange *at_exchange*.
+
+        This is a genuine ``kill -9`` of a running OS process, delivered
+        by the driver immediately before issuing that exchange — the
+        worker dies with whatever protocol state it had, and detection
+        must happen through deadlines and liveness probes like any
+        external kill."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        self._kill_plan[int(rank)] = int(at_exchange)
+
+    def inject_worker_fault(
+        self,
+        rank: int,
+        exchange: int,
+        *,
+        delay: float = 0.0,
+        corrupt: str | None = None,
+    ) -> None:
+        """Arm a worker-side fault for halo exchange *exchange*.
+
+        ``delay`` makes the worker sleep that many seconds before serving
+        the exchange (longer than the policy budget → ``CommTimeout``;
+        shorter → absorbed by retries).  ``corrupt`` ("nan" / "bitflip")
+        corrupts one received ghost value *after* the copy, so the
+        checksum piggyback must catch it end-to-end.  One-shot: the
+        rolled-back re-execution runs clean."""
+        if corrupt not in (None, "nan", "bitflip"):
+            raise ValueError(f"unknown corruption {corrupt!r}")
+        self._cmd[rank].send(
+            ("inject", self._next_seq(),
+             {"exchange": int(exchange), "delay": float(delay),
+              "corrupt": corrupt})
+        )
+
+    def _maybe_kill(self, ex_idx: int) -> None:
+        for rank, at in list(self._kill_plan.items()):
+            if ex_idx >= at:
+                del self._kill_plan[rank]
+                proc = self._procs[rank]
+                if proc is not None and proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.join(timeout=5.0)
+                self.kills.append({"rank": rank, "exchange": ex_idx})
+
+    # -- protocol plumbing ----------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _alive(self, rank: int) -> bool:
+        proc = self._procs[rank]
+        return proc is not None and proc.is_alive()
+
+    def _dead_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if not self._alive(r)]
+
+    def _note_timeout(self, op: str, attempt: int, pending: tuple) -> None:
+        self.timeout_count += 1
+        metric_inc("comm.timeouts", op=op)
+
+    def _gather(self, seq: int, timeout: float) -> dict[int, object]:
+        """Collect every rank's reply for *seq* within *timeout* seconds.
+
+        Stale replies (abandoned attempts) are drained and dropped; an
+        ``err`` reply or a silent-and-dead rank aborts the attempt early
+        — waiting out the deadline on a corpse would only slow the
+        :class:`RankFailure` escalation."""
+        end = time.monotonic() + timeout
+        results: dict[int, object] = {}
+        errors: dict[int, str] = {}
+        pending = set(range(self.size))
+        while pending:
+            for r in list(pending):
+                conn = self._cmd[r]
+                while conn.poll(0):
+                    tag, s, payload = conn.recv()
+                    if s != seq:
+                        continue
+                    if tag == "ok":
+                        results[r] = payload
+                    else:
+                        errors[r] = str(payload)
+                    pending.discard(r)
+                    break
+            if not pending:
+                break
+            if errors or any(not self._alive(r) for r in pending):
+                raise Incomplete(sorted(pending | set(errors)))
+            remaining = end - time.monotonic()
+            if remaining <= 0.0:
+                raise Incomplete(sorted(pending))
+            mp_wait([self._cmd[r] for r in pending], timeout=min(remaining, 0.05))
+        if errors:
+            raise Incomplete(sorted(errors))
+        return results
+
+    def _collective(self, op: str, make_cmd) -> dict[int, object]:
+        """Issue *op* to every worker under the retry policy.
+
+        ``make_cmd(seq, rank)`` builds the command tuple; each retry
+        re-issues under a fresh sequence so late workers re-synchronize."""
+
+        def attempt(deadline: float, _attempt_idx: int):
+            seq = self._next_seq()
+            for r in range(self.size):
+                try:
+                    self._cmd[r].send(make_cmd(seq, r))
+                except (BrokenPipeError, OSError):
+                    pass  # dead rank: the liveness probe reports it
+            return self._gather(seq, deadline)
+
+        return run_with_retry(
+            op,
+            attempt,
+            dead_ranks=self._dead_ranks,
+            policy=self.policy,
+            on_timeout=self._note_timeout,
+        )
+
+    # -- LockstepComm surface -------------------------------------------
+
+    def exchange_external(self, vectors: list[np.ndarray]) -> None:
+        """Fill every domain's external DOF slots through the workers."""
+        if len(vectors) != self.size:
+            raise ValueError(f"expected {self.size} vectors, got {len(vectors)}")
+        ex_idx = self.exchange_count
+        self.exchange_count += 1
+        self._maybe_kill(ex_idx)
+        with span("halo_exchange", rank=-1, transport="process") as sp:
+            for d in range(self.size):
+                self._views[d][: self._ni[d]] = vectors[d][: self._ni[d]]
+            replies = self._collective(
+                "exchange", lambda seq, r: ("exchange", seq, ex_idx)
+            )
+            for d in range(self.size):
+                vectors[d][self._ni[d]:] = self._views[d][self._ni[d]:]
+            self._last_checksums = (
+                [replies[r][0] for r in range(self.size)],
+                [replies[r][1] for r in range(self.size)],
+            )
+            messages = [
+                dst.size * 8
+                for t in self._tables
+                for dst in t.recv_dofs.values()
+            ]
+            total = self.log.record_exchange(messages)
+            sp.set(messages=len(messages), bytes=total)
+
+    def halo_mismatch(self, vectors: list[np.ndarray]) -> float:
+        """Receiver-vs-sender checksum disagreement of the last exchange.
+
+        The checksums were piggybacked on the exchange acknowledgements
+        (zero extra messages); unlike the lockstep probe this never
+        inspects another rank's buffer — it *cannot*, the buffers belong
+        to other processes."""
+        if self._last_checksums is None:
+            return 0.0
+        recv_cks, send_cks = self._last_checksums
+        worst = 0.0
+        for d in range(self.size):
+            for owner, (rsum, rfinite) in recv_cks[d].items():
+                ssum, sfinite = send_cks[owner][d]
+                if not (rfinite and sfinite):
+                    return float("inf")
+                worst = max(worst, abs(rsum - ssum))
+        return worst
+
+    def allreduce_sum_vec(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Element-wise global sum over the worker pipe tree."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"expected {self.size} contributions, got {len(contributions)}"
+            )
+        arrs = [np.asarray(c, dtype=np.float64) for c in contributions]
+        if any(a.ndim != 1 or a.shape != arrs[0].shape for a in arrs):
+            raise ValueError("each rank must contribute a 1-D vector of equal length")
+        replies = self._collective(
+            "allreduce", lambda seq, r: ("allreduce", seq, arrs[r])
+        )
+        total = replies[0]
+        for r in range(1, self.size):
+            if not np.array_equal(replies[r], total):
+                raise RuntimeError(
+                    f"allreduce disagreement: rank {r} returned {replies[r]}, "
+                    f"rank 0 returned {total}"
+                )
+        self.log.record_allreduce()
+        return np.asarray(total, dtype=np.float64).copy()
+
+    def allreduce_sum(self, contributions: list[float]) -> float:
+        """Global scalar sum (a 1-element vector allreduce on the tree)."""
+        vec = self.allreduce_sum_vec(
+            [np.array([float(c)]) for c in contributions]
+        )
+        return float(vec[0])
+
+    # -- introspection ---------------------------------------------------
+
+    def heartbeat(self) -> dict[int, int]:
+        """Ping every worker under the retry policy; raises on a dead one."""
+        return self._collective("heartbeat", lambda seq, r: ("ping", seq))
+
+    def merged_worker_log(self) -> CommLog:
+        """Collect every worker's census and merge to the aggregate view.
+
+        In a healthy run the merge equals the driver-side :attr:`log`
+        (and therefore the census :class:`LockstepComm` would report for
+        the same solve) — the property the transport tests assert."""
+        replies = self._collective("collect_log", lambda seq, r: ("collect_log", seq))
+        merged = CommLog()
+        for r in range(self.size):
+            merged.merge(replies[r])
+        return merged
+
+    def worker_pids(self) -> list[int | None]:
+        return [None if p is None else p.pid for p in self._procs]

@@ -27,6 +27,7 @@ which itself imports ``taxonomy`` — eager imports here would cycle.
 """
 
 from repro.resilience.taxonomy import (
+    CommTimeout,
     FailureReason,
     PivotNudgeWarning,
     RankFailure,
@@ -35,6 +36,7 @@ from repro.resilience.taxonomy import (
 )
 
 __all__ = [
+    "CommTimeout",
     "FailureReason",
     "PivotNudgeWarning",
     "SolveEvent",

@@ -66,6 +66,12 @@ class FailureReason(Enum):
     """A rank stopped responding entirely (process death / lost node):
     the heartbeat probe in the exchange path exhausted its retries."""
 
+    COMM_TIMEOUT = "comm_timeout"
+    """A communication operation missed its deadline on every retry while
+    the peer process stayed alive (overloaded node, paging storm, stalled
+    NIC).  Unlike ``RANK_FAILURE`` no state was lost, so the recovery is a
+    checkpoint rollback without a respawn."""
+
     TIME_BUDGET = "time_budget"
     """Wall-clock budget for the solve was exhausted."""
 
@@ -95,6 +101,34 @@ class RankFailure(RuntimeError):
         )
         self.rank = int(rank)
         self.probes = int(probes)
+
+
+class CommTimeout(RuntimeError):
+    """A communication operation exhausted its deadline/retry budget while
+    every peer process was still alive.
+
+    The transport layer's complement to :class:`RankFailure`: the peers
+    are alive (liveness probes succeed) but the operation never completed
+    inside ``deadline * (1 + max_retries)`` — an overloaded or wedged
+    peer, not a dead one.  No rank state was lost, so the caller's
+    correct response is a checkpoint rollback and re-execution, not a
+    respawn.  Raised by the retry engine in
+    :mod:`repro.parallel.transport.policy`; caught by
+    :func:`~repro.parallel.distributed.parallel_cg`, which maps it to
+    :attr:`FailureReason.COMM_TIMEOUT`."""
+
+    def __init__(
+        self, op: str, pending: tuple[int, ...], attempts: int, elapsed: float
+    ) -> None:
+        ranks = ",".join(str(r) for r in pending) or "?"
+        super().__init__(
+            f"{op} incomplete after {attempts} attempt(s) over {elapsed:.3g}s "
+            f"(rank(s) {ranks} alive but silent)"
+        )
+        self.op = op
+        self.pending = tuple(int(r) for r in pending)
+        self.attempts = int(attempts)
+        self.elapsed = float(elapsed)
 
 
 class PivotNudgeWarning(RuntimeWarning):

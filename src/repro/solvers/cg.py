@@ -79,6 +79,9 @@ class CGResult:
     setup_seconds: float = 0.0
     history: np.ndarray = field(default_factory=lambda: np.empty(0))
     reason: FailureReason | None = None
+    rollbacks: int = 0
+    """Checkpoint rollbacks absorbed during the solve (distributed CG
+    with checkpointing; always 0 for the sequential solver)."""
 
     def __post_init__(self) -> None:
         if self.converged and self.reason is None:

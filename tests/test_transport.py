@@ -1,0 +1,440 @@
+"""Real-process transport: parity, determinism, census, genuine failures.
+
+Everything here runs against real forked worker processes (the
+``process`` transport), checked against the lockstep emulation as the
+reference.  The two headline contracts:
+
+- **determinism gate**: a 4-domain ``parallel_cg`` produces bit-identical
+  ``x``, iteration count and allreduce census on ``lockstep`` and
+  ``process`` transports — the fixed rank-ordered reduction at the pipe
+  tree's root makes the fabrics interchangeable;
+- **genuine failures**: a SIGKILLed worker is a dead OS process (not a
+  flag), a wedged worker really sleeps through the deadline budget, and
+  recovery must reproduce the undisturbed run bit-for-bit.
+"""
+
+import json
+import pickle
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.fem.generators import simple_block_model
+from repro.fem.model import build_contact_problem
+from repro.obs import merge_rank_traces
+from repro.parallel import (
+    DistributedSystem,
+    LockstepComm,
+    parallel_cg,
+    partition_nodes_rcb,
+)
+from repro.parallel.comm import CommLog
+from repro.parallel.transport import (
+    ProcessTransport,
+    TransportPolicy,
+    registry,
+)
+from repro.precond import DiagonalScaling, bic
+from repro.resilience import FailureReason, SolveReport
+
+
+@pytest.fixture(scope="module")
+def problem():
+    mesh = simple_block_model(3, 3, 2, 3, 3)
+    return build_contact_problem(mesh, penalty=1e4), mesh
+
+
+@pytest.fixture(scope="module")
+def part(problem):
+    _, mesh = problem
+    return partition_nodes_rcb(mesh.coords, 4)
+
+
+def _factory(sub, nodes):
+    return bic(sub, fill_level=0)
+
+
+@pytest.fixture(scope="module")
+def lockstep_ref(problem, part):
+    prob, _ = problem
+    system = DistributedSystem.from_global(prob.a, prob.b, part, _factory)
+    res = parallel_cg(system)
+    assert res.converged
+    return system, res
+
+
+def _process_system(problem, part, **opts):
+    prob, _ = problem
+    return DistributedSystem.from_global(
+        prob.a, prob.b, part, _factory, transport="process",
+        transport_opts=opts,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _reset_registry():
+    registry.reset()
+    yield
+    registry.reset()
+
+
+# -- registry ------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_lockstep_and_process_available(self):
+        avail = registry.available_transports()
+        assert "lockstep" in avail and "process" in avail
+
+    def test_default_is_lockstep(self, monkeypatch):
+        monkeypatch.delenv(registry.ENV_VAR, raising=False)
+        assert registry.resolve_name() == "lockstep"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "process")
+        assert registry.resolve_name() == "process"
+
+    def test_set_transport_beats_env(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "process")
+        assert registry.set_transport("lockstep") == "lockstep"
+        assert registry.resolve_name() == "lockstep"
+        registry.set_transport(None)
+        assert registry.resolve_name() == "process"
+
+    def test_explicit_arg_beats_all(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "process")
+        registry.set_transport("process")
+        assert registry.resolve_name("lockstep") == "lockstep"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            registry.resolve_name("carrier-pigeon")
+
+    def test_mpi_without_mpi4py_falls_back_with_one_warning(self, caplog):
+        try:
+            import mpi4py  # noqa: F401
+
+            pytest.skip("mpi4py present; fallback path not reachable")
+        except ImportError:
+            pass
+        with caplog.at_level("WARNING", logger="repro.parallel.transport"):
+            assert registry.resolve_name("mpi") == "lockstep"
+            assert registry.resolve_name("mpi") == "lockstep"
+        warnings = [r for r in caplog.records if "falling back" in r.message]
+        assert len(warnings) == 1  # warn-once
+
+    def test_create_transport_types(self, problem, part):
+        prob, _ = problem
+        from repro.parallel.partition import build_domains
+
+        domains = build_domains(prob.a, part)
+        comm = registry.create_transport(domains)
+        assert isinstance(comm, LockstepComm)
+        proc = registry.create_transport(domains, "process")
+        try:
+            assert isinstance(proc, ProcessTransport)
+        finally:
+            proc.close()
+
+    def test_describe(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "process")
+        info = registry.describe()
+        assert info["env"] == "process"
+        assert info["active"] == "process"
+        assert "lockstep" in info["available"]
+
+
+# -- parity + determinism -----------------------------------------------
+
+
+class TestParity:
+    def test_single_exchange_matches_lockstep(self, problem, part):
+        prob, _ = problem
+        system = _process_system(problem, part)
+        try:
+            ref_comm = LockstepComm(system.domains)
+            rng = np.random.default_rng(3)
+            vecs_p = [
+                rng.standard_normal(d.n_local * d.b) for d in system.domains
+            ]
+            vecs_l = [v.copy() for v in vecs_p]
+            system.comm.exchange_external(vecs_p)
+            ref_comm.exchange_external(vecs_l)
+            for vp, vl in zip(vecs_p, vecs_l):
+                assert np.array_equal(vp, vl)
+            assert system.comm.halo_mismatch(vecs_p) == 0.0
+        finally:
+            system.close()
+
+    def test_allreduce_matches_lockstep_bitwise(self, problem, part):
+        system = _process_system(problem, part)
+        try:
+            ref_comm = LockstepComm(system.domains)
+            rng = np.random.default_rng(11)
+            contribs = [rng.standard_normal(2) for _ in system.domains]
+            got = system.comm.allreduce_sum_vec([c.copy() for c in contribs])
+            want = ref_comm.allreduce_sum_vec([c.copy() for c in contribs])
+            assert np.array_equal(got, want)
+            scal = [float(c[0]) for c in contribs]
+            assert system.comm.allreduce_sum(scal) == ref_comm.allreduce_sum(
+                scal
+            )
+        finally:
+            system.close()
+
+    def test_determinism_gate_4_domains(self, problem, part, lockstep_ref):
+        """THE gate: bit-identical x, iterations and allreduce census."""
+        sys_l, res_l = lockstep_ref
+        sys_p = _process_system(problem, part)
+        try:
+            res_p = parallel_cg(sys_p)
+            assert res_p.converged
+            assert res_p.iterations == res_l.iterations
+            assert np.array_equal(res_p.x, res_l.x)
+            assert sys_p.comm_log.n_allreduce == sys_l.comm_log.n_allreduce
+            assert sys_p.comm_log.n_messages == sys_l.comm_log.n_messages
+            assert sys_p.comm_log.bytes_sent == sys_l.comm_log.bytes_sent
+        finally:
+            sys_p.close()
+
+    def test_from_global_env_var_route(self, problem, part, monkeypatch):
+        prob, _ = problem
+        monkeypatch.setenv(registry.ENV_VAR, "process")
+        system = DistributedSystem.from_global(prob.a, prob.b, part, _factory)
+        try:
+            assert isinstance(system.comm, ProcessTransport)
+        finally:
+            system.close()
+
+
+# -- CommLog merge (per-worker census -> aggregate) ----------------------
+
+
+class TestCommLogMerge:
+    def test_merged_worker_census_equals_driver(self, problem, part):
+        system = _process_system(problem, part)
+        try:
+            res = parallel_cg(system, max_iter=30)
+            merged = system.comm.merged_worker_log()
+            driver = system.comm_log
+            assert merged.n_messages == driver.n_messages
+            assert merged.bytes_sent == driver.bytes_sent
+            assert merged.n_allreduce == driver.n_allreduce
+            assert merged.max_neighbor_count == driver.max_neighbor_count
+            assert list(merged.per_exchange_bytes) == list(
+                driver.per_exchange_bytes
+            )
+        finally:
+            system.close()
+
+    def test_commlog_picklable(self):
+        log = CommLog(rank=2)
+        log.record_exchange([24, 48])
+        log.record_allreduce()
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.rank == 2
+        assert clone.n_messages == 2
+        assert clone.bytes_sent == 72
+        assert list(clone.per_exchange_bytes) == [72]
+
+    def test_merge_rules(self):
+        a = CommLog(rank=0)
+        a.record_exchange([10])
+        a.record_exchange([20])
+        a.record_allreduce()
+        a.record_allreduce()
+        a.max_neighbor_count = 2
+        b = CommLog(rank=1)
+        b.record_exchange([5])
+        b.record_exchange([7])
+        b.record_allreduce()
+        b.record_allreduce()
+        b.max_neighbor_count = 3
+        a.merge(b)
+        assert a.n_messages == 4  # edges are disjoint: summed
+        assert a.bytes_sent == 42
+        assert a.n_allreduce == 2  # collectives are replicated: max
+        assert a.max_neighbor_count == 3  # max survives the merge
+        assert list(a.per_exchange_bytes) == [15, 27]
+        assert a.rank is None  # merged censuses are aggregates
+
+    def test_merge_aligns_at_most_recent(self):
+        a = CommLog()
+        for size in (10, 20, 30):
+            a.record_exchange([size])
+        b = CommLog()
+        b.record_exchange([1])
+        a.merge(b)
+        # shorter series zero-pads at the OLD end (drop-oldest retention)
+        assert list(a.per_exchange_bytes) == [10, 20, 31]
+
+    def test_merge_respects_retention(self):
+        a = CommLog(per_exchange_bytes=deque(maxlen=2))
+        for size in (10, 20, 30):
+            a.record_exchange([size])
+        b = CommLog()
+        b.record_exchange([1])
+        a.merge(b)
+        assert a.per_exchange_bytes.maxlen == 2
+        assert list(a.per_exchange_bytes) == [20, 31]
+
+
+# -- genuine failures ----------------------------------------------------
+
+
+class TestRealFailures:
+    def test_sigkill_detected_recovered_bit_exact(
+        self, problem, part, lockstep_ref
+    ):
+        _, ref = lockstep_ref
+        system = _process_system(
+            problem, part, policy=TransportPolicy(deadline=3.0, max_retries=1)
+        )
+        try:
+            system.enable_recovery()
+            system.comm.inject_kill(2, at_exchange=6)
+            report = SolveReport()
+            res = parallel_cg(system, checkpoint_interval=4, report=report)
+            assert res.converged
+            assert system.comm.kills == [{"rank": 2, "exchange": 6}]
+            assert len(system.comm.revivals) == 1
+            assert res.rollbacks >= 1
+            assert any(
+                e.reason is FailureReason.RANK_FAILURE
+                for e in report.detections()
+            )
+            assert np.array_equal(res.x, ref.x)  # bit-exact recovery
+            # the replacement worker is a live OS process again
+            assert all(
+                pid is not None for pid in system.comm.worker_pids()
+            )
+            assert system.comm.heartbeat() == {0: 0, 1: 1, 2: 2, 3: 3}
+        finally:
+            system.close()
+
+    def test_sigkill_without_recovery_store_fails_fast(self, problem, part):
+        system = _process_system(
+            problem, part, policy=TransportPolicy(deadline=2.0, max_retries=0)
+        )
+        try:
+            system.comm.inject_kill(1, at_exchange=3)
+            res = parallel_cg(system)  # no checkpointing, no recovery
+            assert not res.converged
+            assert res.reason is FailureReason.RANK_FAILURE
+        finally:
+            system.close()
+
+    def test_wedged_worker_comm_timeout_rollback(
+        self, problem, part, lockstep_ref
+    ):
+        _, ref = lockstep_ref
+        policy = TransportPolicy(deadline=0.5, max_retries=1, backoff=0.05)
+        system = _process_system(problem, part, policy=policy)
+        try:
+            system.comm.inject_worker_fault(
+                1, exchange=6, delay=3 * policy.budget()
+            )
+            report = SolveReport()
+            res = parallel_cg(system, checkpoint_interval=4, report=report)
+            assert res.converged
+            assert any(
+                e.reason is FailureReason.COMM_TIMEOUT
+                for e in report.detections()
+            )
+            assert res.rollbacks >= 1
+            assert system.comm.timeout_count >= 1
+            assert np.array_equal(res.x, ref.x)
+            # nobody died and nobody was respawned
+            assert system.comm.kills == [] and system.comm.revivals == []
+        finally:
+            system.close()
+
+    def test_slow_but_alive_absorbed(self, problem, part, lockstep_ref):
+        """A delay inside one deadline is not a solver-visible failure."""
+        _, ref = lockstep_ref
+        system = _process_system(
+            problem, part, policy=TransportPolicy(deadline=5.0, max_retries=2)
+        )
+        try:
+            system.comm.inject_worker_fault(0, exchange=4, delay=0.8)
+            report = SolveReport()
+            res = parallel_cg(system, checkpoint_interval=4, report=report)
+            assert res.converged
+            assert report.detections() == []
+            assert res.rollbacks == 0
+            assert np.array_equal(res.x, ref.x)
+        finally:
+            system.close()
+
+    @pytest.mark.parametrize("kind", ["nan", "bitflip"])
+    def test_corrupted_halo_checksum_piggyback(
+        self, problem, part, lockstep_ref, kind
+    ):
+        """The checksum rides the exchange replies: corruption in a
+        worker's received ghost values must trip COMM_FAULT end-to-end
+        without the driver ever peeking at owner buffers."""
+        _, ref = lockstep_ref
+        system = _process_system(problem, part)
+        try:
+            system.comm.inject_worker_fault(1, exchange=5, corrupt=kind)
+            report = SolveReport()
+            res = parallel_cg(system, checkpoint_interval=4, report=report)
+            assert res.converged
+            assert any(
+                e.reason is FailureReason.COMM_FAULT
+                for e in report.detections()
+            )
+            assert np.array_equal(res.x, ref.x)
+        finally:
+            system.close()
+
+
+# -- lifecycle + observability -------------------------------------------
+
+
+class TestLifecycle:
+    def test_close_idempotent_and_context_manager(self, problem, part):
+        with _process_system(problem, part) as system:
+            assert isinstance(system.comm, ProcessTransport)
+        system.close()  # second close is a no-op
+        for pid_alive in [
+            p.is_alive() for p in system.comm._procs if p is not None
+        ]:
+            assert not pid_alive
+
+    def test_invalid_injection_args(self, problem, part):
+        system = _process_system(problem, part)
+        try:
+            with pytest.raises(ValueError, match="outside"):
+                system.comm.inject_kill(99, at_exchange=0)
+            with pytest.raises(ValueError, match="corruption"):
+                system.comm.inject_worker_fault(0, 1, corrupt="gamma-ray")
+        finally:
+            system.close()
+
+    def test_per_rank_traces_and_merge(self, problem, part, tmp_path):
+        system = _process_system(problem, part, trace_dir=tmp_path)
+        try:
+            parallel_cg(system, max_iter=10)
+        finally:
+            system.close()
+        files = sorted(tmp_path.glob("trace.rank*.jsonl"))
+        assert len(files) == 4
+        for r, f in enumerate(files):
+            recs = [json.loads(line) for line in f.read_text().splitlines()]
+            meta = [x for x in recs if x["kind"] == "meta"]
+            assert len(meta) == 1 and meta[0]["rank"] == r
+            spans = [x for x in recs if x["kind"] == "span"]
+            assert spans and all(x["rank"] == r for x in spans)
+            assert {x["name"] for x in spans} == {"halo_exchange"}
+            assert all(x["attrs"]["rank"] == r for x in spans)
+        merged = merge_rank_traces(files, tmp_path / "merged.json")
+        doc = json.loads(merged.read_text())
+        events = doc["traceEvents"]
+        lanes = {e["pid"] for e in events if e["ph"] == "X"}
+        assert lanes == {0, 1, 2, 3}
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert names == {"rank 0", "rank 1", "rank 2", "rank 3"}
