@@ -128,22 +128,71 @@ def measure_setup_phases(problem, problem_alt, *, quick: bool) -> dict:
     return out
 
 
-def append_setup_trajectory(path: Path, entry: dict) -> None:
-    """Append a run entry to the cumulative setup-phase trajectory file."""
+_TRAJECTORY_MODEL = "simple_block_model(6, 6, 4, 6, 6)"
+_TRAJECTORY_PENALTIES = [1.0e6, 1.0e3]
+
+
+def _git_tree() -> str | None:
+    """Hash of the committed source tree, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD^{tree}"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def append_setup_trajectory(
+    path: Path, entry: dict, *, keep_first: int = 2, keep_last: int = 8
+) -> bool:
+    """Append a run entry to the cumulative setup-phase trajectory file.
+
+    Two guards keep the file from growing without bound across years of
+    runs: a re-run on an **unchanged git tree + model config** replaces
+    the previous measurement instead of appending a duplicate, and the
+    trajectory itself is capped to the first *keep_first* entries (the
+    historical baseline) plus the last *keep_last* (the recent trend),
+    with a running count of what was dropped.  Returns True when the
+    entry was appended, False when it replaced a same-tree predecessor.
+    """
     if path.exists():
         doc = json.loads(path.read_text())
     else:
         doc = {
             "meta": {
-                "model": "simple_block_model(6, 6, 4, 6, 6)",
-                "penalties": [1.0e6, 1.0e3],
+                "model": _TRAJECTORY_MODEL,
+                "penalties": _TRAJECTORY_PENALTIES,
                 "generated_by": "scripts/bench_kernels_dump.py",
                 "note": "cumulative setup-phase trajectory, one entry per run",
             },
             "trajectory": [],
         }
-    doc["trajectory"].append(entry)
+    entry = {**entry, "git_tree": _git_tree(), "model": _TRAJECTORY_MODEL}
+    traj = doc["trajectory"]
+    appended = True
+    if traj:
+        last = traj[-1]
+        same_source = (
+            entry["git_tree"] is not None
+            and last.get("git_tree") == entry["git_tree"]
+            and last.get("model", _TRAJECTORY_MODEL) == entry["model"]
+            and last.get("quick") == entry.get("quick")
+        )
+        if same_source:
+            traj[-1] = entry  # refresh, don't duplicate
+            appended = False
+    if appended:
+        traj.append(entry)
+    if len(traj) > keep_first + keep_last:
+        dropped = len(traj) - keep_first - keep_last
+        doc["meta"]["dropped_entries"] = (
+            doc["meta"].get("dropped_entries", 0) + dropped
+        )
+        doc["trajectory"] = traj[:keep_first] + traj[-keep_last:]
     path.write_text(json.dumps(doc, indent=2) + "\n")
+    return appended
 
 
 def measure_backend_comparison(problem, m, r, *, quick: bool) -> dict:
@@ -340,7 +389,7 @@ def main(argv=None) -> int:
         simple_block_model(6, 6, 4, 6, 6), penalty=1e3
     )
     setup_phases = measure_setup_phases(problem, problem_alt, quick=args.quick)
-    append_setup_trajectory(
+    appended = append_setup_trajectory(
         args.setup_out,
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -348,7 +397,9 @@ def main(argv=None) -> int:
             "preconds": setup_phases,
         },
     )
-    print(f"appended setup trajectory entry to {args.setup_out}")
+    verb = "appended setup trajectory entry to" if appended else \
+        "refreshed same-tree setup trajectory entry in"
+    print(f"{verb} {args.setup_out}")
 
     suite = None if args.quick else run_pytest_suite()
 

@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Measure the solver service and dump ``BENCH_serve.json``.
+
+Three layers of measurement on the bench block model (scale 1.0,
+penalty 1e4, SB-BIC(0)):
+
+1. **Cold vs warm latency** through :class:`repro.serve.SolverSession`:
+   the first request pays structure assembly plus the symbolic+numeric
+   preconditioner build; an identical repeat must hit the workspace
+   caches with **zero** setup phases (verified against the process-wide
+   ``setup_counters()`` census).  The penalty-change ``refactor`` path
+   (numeric-only) is timed alongside.
+2. **Sequential CG vs block CG** for 8 right-hand sides sharing one
+   SB-BIC(0) operator: one :func:`block_cg_solve` against a loop of
+   per-column :func:`cg_solve`, plus the per-column parity of the two
+   answers at ``eps = 1e-13``.
+3. **Service-level batch throughput**: 8 seeded requests through
+   ``solve_batch`` (coalesced into one blocked solve) against the same
+   8 served one at a time on an already-warm session.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve_dump.py           # full
+    PYTHONPATH=src python scripts/bench_serve_dump.py --quick   # CI smoke
+
+Writes ``BENCH_serve.json`` at the repository root (override with
+``--out``).  Exit status is non-zero if a measurement regresses below
+the acceptance floors (warm latency >= 3x lower than cold with zero
+setups, block-CG throughput >= 2x sequential, block-vs-sequential
+parity <= 1e-10) unless ``--no-gate`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import kernels  # noqa: E402
+from repro.experiments.workloads import block_structure  # noqa: E402
+from repro.precond import sb_bic0  # noqa: E402
+from repro.serve import SolveRequest, SolverSession  # noqa: E402
+from repro.solvers.block_cg import block_cg_solve  # noqa: E402
+from repro.solvers.cg import cg_solve  # noqa: E402
+
+MODEL = "block"
+SCALE = 1.0
+PENALTY = 1.0e4  # low contact stiffness: block/sequential parity is exact-ish
+PRECOND = "sbbic0"
+N_RHS = 8
+PARITY_EPS = 1e-13
+
+
+def best_of(fn, *args, reps: int) -> float:
+    """Minimum wall time of ``fn(*args)`` over ``reps`` runs (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _request(**overrides) -> SolveRequest:
+    base = dict(model=MODEL, scale=SCALE, penalty=PENALTY, precond=PRECOND,
+                rhs="model")
+    base.update(overrides)
+    return SolveRequest(**base)
+
+
+def measure_latency(*, quick: bool) -> dict:
+    """Cold build vs warm cache-hit vs numeric-only refactor latency.
+
+    Cold latency is re-measured on a **fresh session** each rep (the
+    whole point is the uncached path); warm latency repeats the identical
+    request on one live session, asserting zero setup phases every time.
+    """
+    cold_reps = 1 if quick else 3
+    warm_reps = 5 if quick else 20
+
+    cold_s = float("inf")
+    cold_resp = None
+    session = None
+    for _ in range(cold_reps):
+        session = SolverSession(warm_kernels=False)
+        t0 = time.perf_counter()
+        cold_resp = session.solve(_request(job_id="bench-cold"))
+        cold_s = min(cold_s, time.perf_counter() - t0)
+    assert cold_resp is not None and session is not None
+    if not cold_resp.ok or not cold_resp.converged:
+        raise RuntimeError(f"cold bench solve failed: {cold_resp.error}")
+
+    warm_s = float("inf")
+    warm_resp = None
+    for _ in range(warm_reps):
+        t0 = time.perf_counter()
+        warm_resp = session.solve(_request(job_id="bench-warm"))
+        warm_s = min(warm_s, time.perf_counter() - t0)
+        if any(warm_resp.setups[k] for k in ("symbolic", "numeric")):
+            raise RuntimeError(
+                f"warm request re-ran setup phases: {warm_resp.setups}"
+            )
+    assert warm_resp is not None
+
+    # Penalty change on the live session: cached factor, numeric-only.
+    refac_s = float("inf")
+    refac_resp = None
+    for i in range(warm_reps):
+        penalty = PENALTY * (2.0 if i % 2 == 0 else 1.0)
+        t0 = time.perf_counter()
+        refac_resp = session.solve(_request(job_id="bench-refac", penalty=penalty))
+        refac_s = min(refac_s, time.perf_counter() - t0)
+    assert refac_resp is not None
+    if refac_resp.setups["symbolic"] != 0:
+        raise RuntimeError(
+            f"refactor request re-ran symbolic setup: {refac_resp.setups}"
+        )
+
+    out = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "refactor_s": refac_s,
+        "cold_setups": cold_resp.setups,
+        "warm_setups": warm_resp.setups,
+        "refactor_setups": refac_resp.setups,
+        "cache_events": {
+            "cold": cold_resp.cache,
+            "warm": warm_resp.cache,
+            "refactor": refac_resp.cache,
+        },
+        "iterations": int(warm_resp.iterations),
+        "ndof": int(warm_resp.ndof),
+    }
+    print(
+        f"latency: cold {cold_s * 1e3:.1f} ms "
+        f"(setups {cold_resp.setups}), warm {warm_s * 1e3:.1f} ms "
+        f"(setups {warm_resp.setups}) -> {cold_s / warm_s:.1f}x, "
+        f"refactor {refac_s * 1e3:.1f} ms"
+    )
+    return out
+
+
+def measure_block_throughput(*, quick: bool) -> dict:
+    """One block-CG solve vs a sequential per-column loop, same operator.
+
+    Both paths share the assembled ``A(penalty)`` and one SB-BIC(0)
+    factorization — this isolates the multi-RHS amortization (shared
+    matvec/apply batching, one convergence loop) from setup effects.
+    """
+    reps = 1 if quick else 3
+    s = block_structure(SCALE)
+    a = s.system(PENALTY)
+    m = sb_bic0(a, s.groups)
+    rng = np.random.default_rng(2003)
+    b = rng.standard_normal((s.ndof, N_RHS))
+
+    def sequential():
+        return [
+            cg_solve(a, b[:, j], m, eps=PARITY_EPS, record_history=False)
+            for j in range(N_RHS)
+        ]
+
+    def blocked():
+        return block_cg_solve(a, b, m, eps=PARITY_EPS, record_history=False)
+
+    seq_res = sequential()  # warm + reference answers
+    blk_res = blocked()
+    if not all(r.converged for r in seq_res) or not all(blk_res.converged_columns):
+        raise RuntimeError("throughput bench solves did not converge")
+    seq_s = best_of(sequential, reps=reps)
+    blk_s = best_of(blocked, reps=reps)
+
+    rel_errs = [
+        float(np.linalg.norm(blk_res.x[:, j] - seq_res[j].x)
+              / np.linalg.norm(seq_res[j].x))
+        for j in range(N_RHS)
+    ]
+    out = {
+        "n_rhs": N_RHS,
+        "eps": PARITY_EPS,
+        "sequential_s": seq_s,
+        "block_s": blk_s,
+        "throughput_ratio": seq_s / blk_s,
+        "sequential_total_iterations": int(sum(r.iterations for r in seq_res)),
+        "block_iterations": int(blk_res.iterations),
+        "max_relative_error_vs_sequential": max(rel_errs),
+        "relative_errors": rel_errs,
+        "ndof": int(s.ndof),
+    }
+    print(
+        f"throughput ({N_RHS} rhs): sequential {seq_s * 1e3:.0f} ms "
+        f"({out['sequential_total_iterations']} iters), "
+        f"block {blk_s * 1e3:.0f} ms ({blk_res.iterations} iters) "
+        f"-> {seq_s / blk_s:.2f}x, parity {max(rel_errs):.2e}"
+    )
+    return out
+
+
+def measure_service_throughput(*, quick: bool) -> dict:
+    """End-to-end: a coalesced 8-request batch vs 8 solo warm requests."""
+    reps = 1 if quick else 3
+    session = SolverSession(warm_kernels=False)
+    batch = [
+        _request(job_id=f"bench-batch-{j}", rhs={"seed": j}, eps=PARITY_EPS)
+        for j in range(N_RHS)
+    ]
+    session.solve_batch(batch)  # warm every cache first
+
+    solo_s = best_of(lambda: [session.solve(r) for r in batch], reps=reps)
+    batch_s = best_of(session.solve_batch, batch, reps=reps)
+    responses = session.solve_batch(batch)
+    if not all(r.ok and r.converged for r in responses):
+        raise RuntimeError("service bench batch failed")
+    out = {
+        "n_requests": N_RHS,
+        "solo_s": solo_s,
+        "batch_s": batch_s,
+        "throughput_ratio": solo_s / batch_s,
+        "coalesced": int(responses[0].coalesced),
+    }
+    print(
+        f"service ({N_RHS} requests): solo {solo_s * 1e3:.0f} ms, "
+        f"coalesced batch {batch_s * 1e3:.0f} ms -> {solo_s / batch_s:.2f}x"
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke mode: few reps")
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_serve.json")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="never fail on regressed measurements")
+    args = ap.parse_args(argv)
+
+    kernels.warmup()  # one-time JIT/structure cost, excluded from every timing
+
+    print(f"serving {MODEL} model, scale {SCALE}, penalty {PENALTY:g}, "
+          f"{PRECOND} ...")
+    latency = measure_latency(quick=args.quick)
+    throughput = measure_block_throughput(quick=args.quick)
+    service = measure_service_throughput(quick=args.quick)
+
+    out = {
+        "meta": {
+            "model": MODEL,
+            "scale": SCALE,
+            "penalty": PENALTY,
+            "precond": PRECOND,
+            "ndof": latency["ndof"],
+            "quick": bool(args.quick),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "generated_by": "scripts/bench_serve_dump.py",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "kernels": kernels.describe(),
+        },
+        "latency": latency,
+        "block_throughput": throughput,
+        "service_throughput": service,
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.no_gate:
+        failed = []
+        if latency["warm_speedup"] < 3.0:
+            failed.append(
+                f"warm latency speedup {latency['warm_speedup']:.2f}x below 3x"
+            )
+        if any(latency["warm_setups"][k] for k in ("symbolic", "numeric")):
+            failed.append(f"warm request ran setups: {latency['warm_setups']}")
+        if throughput["throughput_ratio"] < 2.0:
+            failed.append(
+                f"block-CG throughput {throughput['throughput_ratio']:.2f}x below 2x"
+            )
+        if throughput["max_relative_error_vs_sequential"] > 1e-10:
+            failed.append(
+                "block-vs-sequential parity "
+                f"{throughput['max_relative_error_vs_sequential']:.2e} above 1e-10"
+            )
+        if failed:
+            for f in failed:
+                print(f"REGRESSION: {f}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

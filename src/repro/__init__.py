@@ -66,7 +66,14 @@ from repro.precond import (
     sb_bic0,
     scalar_ic0,
 )
-from repro.solvers import CGResult, bicgstab_solve, cg_solve, gmres_solve
+from repro.solvers import (
+    BlockCGResult,
+    CGResult,
+    bicgstab_solve,
+    block_cg_solve,
+    cg_solve,
+    gmres_solve,
+)
 from repro.sparse import BCSRMatrix, VBRMatrix
 
 __version__ = "1.0.0"
@@ -95,6 +102,8 @@ __all__ = [
     "scalar_ic0",
     "CGResult",
     "cg_solve",
+    "BlockCGResult",
+    "block_cg_solve",
     "bicgstab_solve",
     "gmres_solve",
     "TwoLevelPreconditioner",

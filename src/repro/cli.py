@@ -223,10 +223,58 @@ def _cmd_solve(args) -> int:
     return rc
 
 
+def _cmd_serve(args) -> int:
+    """Long-lived solver service over stdio or a unix socket."""
+    from repro.serve import JobQueue, SolverSession, serve_socket, serve_stdio
+
+    if args.kernel_backend:
+        kernels.set_backend(args.kernel_backend)
+    session = SolverSession(capacity=args.capacity)
+    queue = JobQueue(session, journal_dir=args.journal_dir)
+    with _maybe_observe(args.trace) as sess:
+        if args.resume:
+            recovered = queue.resume()
+            print(f"resumed {len(recovered)} journaled job(s)", file=sys.stderr)
+        if args.socket:
+            print(f"serving on {args.socket}", file=sys.stderr)
+            answered = serve_socket(queue, args.socket)
+        else:
+            answered = serve_stdio(queue)
+        print(f"served {answered} job(s)", file=sys.stderr)
+        if sess is not None:
+            print(obs.requests_table(sess.tracer), file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    """One-shot mode: solve a JSONL request file as a single batch."""
+    from repro.serve import JobQueue, SolverSession, run_batch
+
+    if args.kernel_backend:
+        kernels.set_backend(args.kernel_backend)
+    session = SolverSession(capacity=args.capacity)
+    queue = JobQueue(session, journal_dir=args.journal_dir)
+    with _maybe_observe(args.trace) as sess:
+        if args.resume:
+            queue.resume()
+        jobs = run_batch(queue, args.requests, args.out)
+        if args.out is None:
+            for job in jobs:
+                print(job.response.to_json_line())
+        if sess is not None:
+            print(obs.requests_table(sess.tracer), file=sys.stderr)
+    if args.out is not None:
+        print(f"responses written to {args.out}", file=sys.stderr)
+    return 0 if all(j.state == "done" for j in jobs) else 1
+
+
 def _cmd_trace(args) -> int:
     if args.merge:
         out = obs.merge_rank_traces(args.merge, args.out)
         print(f"merged {len(args.merge)} rank trace(s) into {out}")
+        return 0
+    if args.requests:
+        print(obs.requests_table(obs.load_jsonl_records(args.requests)))
         return 0
     with obs.observe() as sess:
         rc = _run_solve(args)
@@ -309,7 +357,60 @@ def main(argv: list[str] | None = None) -> int:
         help="merge per-rank JSON-lines traces (written by --rank-traces) "
         "into one Chrome trace at --out instead of solving",
     )
+    p_trace.add_argument(
+        "--requests", default=None, metavar="JSONL",
+        help="print the per-request serving view of an exported serve "
+        "trace (one line per job: fingerprint, cache hits, iterations, "
+        "wall time) instead of solving",
+    )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    def add_serve_args(p) -> None:
+        p.add_argument(
+            "--journal-dir", default=None, metavar="DIR",
+            help="journal every job durably under DIR (enables idempotent "
+            "retry and crash resume; default: in-memory only)",
+        )
+        p.add_argument(
+            "--capacity", type=int, default=8,
+            help="LRU capacity of each workspace cache tier (default 8)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="before serving, recover in-flight jobs from --journal-dir",
+        )
+        p.add_argument(
+            "--kernel-backend", default=None,
+            choices=["auto", "numpy", "numba"],
+            help="kernel backend for the hot loops",
+        )
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="export an observability trace of the serving run "
+            "(view per-request with: repro trace --requests PATH)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent solver service (JSONL requests on stdin, or --socket)",
+    )
+    add_serve_args(p_serve)
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix domain socket instead of stdio",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_batch = sub.add_parser(
+        "batch", help="solve a JSONL request file as one coalesced batch"
+    )
+    add_serve_args(p_batch)
+    p_batch.add_argument("requests", help="JSONL request file (one job per line)")
+    p_batch.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write responses here (default: stdout)",
+    )
+    p_batch.set_defaults(fn=_cmd_batch)
 
     args = parser.parse_args(argv)
     return args.fn(args)

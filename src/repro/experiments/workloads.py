@@ -14,7 +14,12 @@ import numpy as np
 from repro.fem.generators import box_mesh, simple_block_model, southwest_japan_model
 from repro.fem.material import IsotropicElastic
 from repro.fem.mesh import Mesh
-from repro.fem.model import ContactProblem, build_contact_problem
+from repro.fem.model import (
+    ContactProblem,
+    ContactStructure,
+    build_contact_problem,
+    build_contact_structure,
+)
 
 
 def table2_block_mesh(scale: float = 1.0) -> Mesh:
@@ -51,6 +56,21 @@ def swjapan_problem(scale: float = 1.0, penalty: float = 1e6) -> ContactProblem:
     return build_contact_problem(
         mesh, penalty=penalty, materials=materials, load="body", symmetry=False
     )
+
+
+def block_structure(scale: float = 1.0) -> ContactStructure:
+    """Penalty-independent block-model structure (serve workspace unit)."""
+    return build_contact_structure(table2_block_mesh(scale))
+
+
+def swjapan_structure(scale: float = 1.0) -> ContactStructure:
+    mesh = swjapan_mesh(scale)
+    materials = {
+        0: IsotropicElastic(1.0, 0.30),
+        1: IsotropicElastic(1.0, 0.30),
+        2: IsotropicElastic(1.0, 0.30),
+    }
+    return build_contact_structure(mesh, materials=materials, load="body", symmetry=False)
 
 
 def homogeneous_box_problem(n: int = 12, penalty: float = 0.0) -> ContactProblem:

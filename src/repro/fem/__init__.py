@@ -11,7 +11,12 @@ from repro.fem.hex8 import hex8_stiffness
 from repro.fem.assembly import assemble_stiffness
 from repro.fem.bc import apply_dirichlet, surface_load, body_force
 from repro.fem.contact import assemble_penalty_groups
-from repro.fem.model import ContactProblem, build_contact_problem
+from repro.fem.model import (
+    ContactProblem,
+    ContactStructure,
+    build_contact_problem,
+    build_contact_structure,
+)
 from repro.fem.generators import (
     box_mesh,
     simple_block_model,
@@ -48,7 +53,9 @@ __all__ = [
     "body_force",
     "assemble_penalty_groups",
     "ContactProblem",
+    "ContactStructure",
     "build_contact_problem",
+    "build_contact_structure",
     "box_mesh",
     "simple_block_model",
     "southwest_japan_model",

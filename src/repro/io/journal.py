@@ -20,11 +20,13 @@ journal can never execute code on load.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
 import os
 import struct
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -66,13 +68,26 @@ def write_journal(
     header = _HEADER.pack(_MAGIC, JOURNAL_VERSION, digest, len(payload))
 
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(header)
-        fh.write(payload)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    # Unique temporary per writer: a fixed ".tmp" name would let two
+    # concurrent writers of the same journal truncate each other's
+    # half-written file before the replace (the serve queue journals from
+    # several jobs at once).  mkstemp gives each writer its own inode, so
+    # the final os.replace is the only point of contention — and that one
+    # is atomic.
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     return path
 
 

@@ -46,6 +46,16 @@ def apply_substitution(plan, rp: np.ndarray) -> np.ndarray:
     return y
 
 
+def apply_substitution_block(plan, rp: np.ndarray) -> np.ndarray:
+    """Sweep an ``(ndof, s)`` residual block in one pass per group.
+
+    The per-group CSR operators multiply dense ``(rows, s)`` panels
+    natively, so this is :func:`apply_substitution` verbatim — one read
+    of each operator serves every column (the multi-RHS win the serve
+    layer's block-CG batches for)."""
+    return apply_substitution(plan, rp)
+
+
 # ----------------------------------------------------------------------
 # matrix-vector products
 # ----------------------------------------------------------------------

@@ -46,7 +46,9 @@ from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
     export_jsonl,
+    load_jsonl_records,
     merge_rank_traces,
+    requests_table,
     summary_table,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -62,7 +64,9 @@ __all__ = [
     "event",
     "export_chrome_trace",
     "export_jsonl",
+    "load_jsonl_records",
     "merge_rank_traces",
+    "requests_table",
     "metric_inc",
     "metric_observe",
     "metric_set",

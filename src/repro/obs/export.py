@@ -28,7 +28,9 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "export_jsonl",
+    "load_jsonl_records",
     "merge_rank_traces",
+    "requests_table",
     "summary_table",
 ]
 
@@ -284,3 +286,63 @@ def _fmt_labels(labels: dict) -> str:
     if not labels:
         return "-"
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def load_jsonl_records(path) -> list[dict]:
+    """Load a JSON-lines trace back into flat record dicts."""
+    records: list[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def requests_table(source) -> str:
+    """Per-request view of a serving trace: one line per ``serve.job``.
+
+    *source* is either a live :class:`Tracer` or an iterable of flat
+    JSONL records (see :func:`load_jsonl_records`).  Shows, per job, the
+    operator fingerprint, which cache tier answered (structure hit/miss,
+    factor hit / refactor / numeric / build), the setup-counter deltas
+    the job caused, coalescing width, iterations and wall time — the
+    at-a-glance answer to "why was this request slow".
+    """
+    if isinstance(source, Tracer):
+        recs = [
+            _flat(s, source.t0)
+            for s in source.iter_spans()
+            if s.kind == "span" and s.name == "serve.job"
+        ]
+    else:
+        recs = [
+            r for r in source
+            if r.get("kind") == "span" and r.get("name") == "serve.job"
+        ]
+    if not recs:
+        return "(no serve.job spans in trace)"
+    recs.sort(key=lambda r: (r.get("t_start_s") or 0.0, r["attrs"].get("job_id", "")))
+    header = ("job", "fingerprint", "model", "precond", "cache", "setups",
+              "coal", "iters", "conv", "wall ms")
+    rows = [header]
+    for r in recs:
+        at = r.get("attrs", {})
+        dur = r.get("duration_s") or 0.0
+        rows.append((
+            str(at.get("job_id", "?")),
+            str(at.get("fingerprint", ""))[:12],
+            f"{at.get('model', '?')}@{at.get('penalty', 0):g}",
+            str(at.get("precond", "?")),
+            f"{at.get('structure', '?')}/{at.get('factor', '?')}",
+            f"s{at.get('symbolic_setups', 0)} n{at.get('numeric_setups', 0)}",
+            str(at.get("coalesced", 1)),
+            str(at.get("iterations", "?")),
+            "y" if at.get("converged") else "n",
+            f"{1e3 * dur:.1f}",
+        ))
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows
+    )

@@ -76,6 +76,7 @@ __all__ = [
     "BlockICFactorization",
     "ICSymbolic",
     "lower_fill_pattern",
+    "record_cache_eviction",
     "reset_setup_counters",
     "setup_counters",
 ]
@@ -83,19 +84,33 @@ __all__ = [
 
 # Process-wide census of setup phases, used by the perf trajectory and the
 # "exactly one symbolic setup" tests: every ICSymbolic build bumps
-# "symbolic", every numeric (re)factorization bumps "numeric".
-_SETUP_COUNTERS = {"symbolic": 0, "numeric": 0}
+# "symbolic", every numeric (re)factorization bumps "numeric", and every
+# artifact dropped from a bounded workspace cache (repro.serve) bumps
+# "evictions" — an evicted symbolic pattern is a future symbolic setup,
+# so the two belong in the same census.
+_SETUP_COUNTERS = {"symbolic": 0, "numeric": 0, "evictions": 0}
 
 
 def setup_counters() -> dict[str, int]:
-    """Snapshot of the process-wide symbolic/numeric setup counters."""
+    """Snapshot of the process-wide setup counters (symbolic/numeric
+    setups plus workspace-cache evictions)."""
     return dict(_SETUP_COUNTERS)
 
 
 def reset_setup_counters() -> None:
-    """Zero the symbolic/numeric setup counters (test/bench bookkeeping)."""
-    _SETUP_COUNTERS["symbolic"] = 0
-    _SETUP_COUNTERS["numeric"] = 0
+    """Zero the setup counters (test/bench bookkeeping)."""
+    for key in _SETUP_COUNTERS:
+        _SETUP_COUNTERS[key] = 0
+
+
+def record_cache_eviction(n: int = 1) -> None:
+    """Count *n* workspace-cache evictions in the setup census.
+
+    Called by the LRU caches of :mod:`repro.serve`; lives here so the
+    eviction count travels with the symbolic/numeric counters it
+    foreshadows (an evicted pattern will be a fresh symbolic setup)."""
+    _SETUP_COUNTERS["evictions"] += int(n)
+    metric_inc("setup.evictions", n)
 
 
 def _scatter_add(vec: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
@@ -1127,6 +1142,37 @@ class BlockICFactorization(Preconditioner):
         if out is None:
             out = np.empty(self.ndof)
         out[self.perm_dof] = y
+        return out
+
+    def apply_block(
+        self, r: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``Z = M^{-1} R`` for an ``(ndof, s)`` block of residuals.
+
+        Backends exposing a block substitution sweep (numpy: the same
+        per-group CSR operators applied to dense ``(rows, s)`` panels)
+        serve all *s* columns in one pass over the factor — the operator
+        is read once per group instead of once per column, which is what
+        the multi-RHS block-CG solver of :mod:`repro.solvers.block_cg`
+        leans on.  Other backends fall back to column-wise :meth:`apply`
+        (identical results, no panel win)."""
+        r = np.asarray(r, dtype=np.float64)
+        if r.ndim == 1:
+            return self.apply(r, out=out)
+        if r.ndim != 2 or r.shape[0] != self.ndof:
+            raise ValueError(
+                f"r must have shape ({self.ndof}, s), got {r.shape}"
+            )
+        if out is None:
+            out = np.empty_like(r)
+        backend = kernels.get_backend()
+        block_fn = getattr(backend, "apply_substitution_block", None)
+        if block_fn is None:
+            for j in range(r.shape[1]):
+                out[:, j] = self.apply(np.ascontiguousarray(r[:, j]))
+            return out
+        y = block_fn(self._plan, r[self.perm_dof, :])
+        out[self.perm_dof, :] = y
         return out
 
     # -- bucketed reference path (correctness oracle) -------------------

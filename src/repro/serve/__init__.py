@@ -1,0 +1,38 @@
+"""Solver-as-a-service: persistent workspace + coalescing job queue.
+
+The paper's production setting re-solves near-identical systems over and
+over — nonlinear penalty sweeps, per-timestep operators, parameter
+studies.  This package keeps the expensive penalty-independent work
+(meshing, assembly, BC elimination, selective-blocking analysis, IC
+symbolic factorization, kernel warm-up) resident in a
+:class:`~repro.serve.session.Workspace` keyed by problem fingerprint, so
+a warm request is a values-only gather + numeric refactor + CG solve.
+Concurrent requests that share an operator fingerprint coalesce into one
+multi-RHS block-CG solve (:mod:`repro.solvers.block_cg`), and every job
+is journaled durably before it runs so a killed server resumes and
+returns bit-identical answers.
+
+Entry points: ``repro serve`` (JSONL over stdio or a unix socket),
+``repro batch`` (one-shot file mode), and the library-level
+:class:`~repro.serve.session.SolverSession` /
+:class:`~repro.serve.queue.JobQueue`.
+"""
+
+from repro.serve.protocol import ProtocolError, SolveRequest, SolveResponse
+from repro.serve.queue import Job, JobQueue
+from repro.serve.server import run_batch, serve_socket, serve_stdio
+from repro.serve.session import LRUCache, SolverSession, Workspace
+
+__all__ = [
+    "ProtocolError",
+    "SolveRequest",
+    "SolveResponse",
+    "Job",
+    "JobQueue",
+    "LRUCache",
+    "SolverSession",
+    "Workspace",
+    "run_batch",
+    "serve_socket",
+    "serve_stdio",
+]

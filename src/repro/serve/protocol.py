@@ -1,0 +1,212 @@
+"""JSONL wire format for the solver service.
+
+One request per line, one response per line, plain JSON, no third-party
+dependencies.  A request names a model family + scale + penalty +
+preconditioner and a right-hand side spec; the response carries solver
+outcome, cache accounting, and a digest of the solution (the full vector
+only on request — answers can be megabytes).
+
+Request fields (all optional except none — defaults reproduce the
+bench default block model)::
+
+    {"id": "job-1", "model": "block", "scale": 0.5, "penalty": 1e6,
+     "precond": "sbbic0", "eps": 1e-8, "max_iter": 20000,
+     "rhs": "model" | {"seed": 7} | [..ndof floats..],
+     "return_x": false}
+
+``rhs: "model"`` uses the assembled load vector; ``{"seed": k}`` a
+deterministic standard-normal vector (deduplicated across a coalesced
+batch); an explicit list is used verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+_JOB_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,80}$")
+
+MODELS = ("block", "swjapan")
+PRECONDS = ("diag", "ic0", "bic0", "bic1", "bic2", "sbbic0")
+
+
+class ProtocolError(ValueError):
+    """Malformed request line or unsupported field value."""
+
+
+@dataclass
+class SolveRequest:
+    """One solve job as it travels the wire and the journal."""
+
+    job_id: str | None = None
+    model: str = "block"
+    scale: float = 1.0
+    penalty: float = 1e6
+    precond: str = "sbbic0"
+    eps: float = 1e-8
+    max_iter: int | None = None
+    rhs: Any = "model"
+    return_x: bool = False
+
+    def __post_init__(self) -> None:
+        if self.job_id is not None:
+            self.job_id = str(self.job_id)
+            if not _JOB_ID_RE.match(self.job_id):
+                raise ProtocolError(
+                    f"job id {self.job_id!r} must match [A-Za-z0-9._-]{{1,80}} "
+                    "(it names journal files)"
+                )
+        if self.model not in MODELS:
+            raise ProtocolError(f"unknown model {self.model!r} (expected one of {MODELS})")
+        if self.precond not in PRECONDS:
+            raise ProtocolError(
+                f"unknown preconditioner {self.precond!r} (expected one of {PRECONDS})"
+            )
+        self.scale = float(self.scale)
+        self.penalty = float(self.penalty)
+        self.eps = float(self.eps)
+        if self.scale <= 0:
+            raise ProtocolError(f"scale must be positive, got {self.scale}")
+        if self.penalty < 0:
+            raise ProtocolError(f"penalty must be non-negative, got {self.penalty}")
+        if self.eps <= 0:
+            raise ProtocolError(f"eps must be positive, got {self.eps}")
+        if self.max_iter is not None:
+            self.max_iter = int(self.max_iter)
+            if self.max_iter <= 0:
+                raise ProtocolError(f"max_iter must be positive, got {self.max_iter}")
+        self.rhs = _check_rhs(self.rhs)
+
+    # -- wire / journal codecs -------------------------------------------
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> SolveRequest:
+        if not isinstance(d, dict):
+            raise ProtocolError(f"request must be a JSON object, got {type(d).__name__}")
+        unknown = set(d) - {
+            "id", "model", "scale", "penalty", "precond", "eps",
+            "max_iter", "rhs", "return_x",
+        }
+        if unknown:
+            raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+        try:
+            return cls(
+                job_id=d.get("id"),
+                model=d.get("model", "block"),
+                scale=d.get("scale", 1.0),
+                penalty=d.get("penalty", 1e6),
+                precond=d.get("precond", "sbbic0"),
+                eps=d.get("eps", 1e-8),
+                max_iter=d.get("max_iter"),
+                rhs=d.get("rhs", "model"),
+                return_x=bool(d.get("return_x", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(str(exc)) from exc
+
+    @classmethod
+    def from_json_line(cls, line: str) -> SolveRequest:
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(d)
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "model": self.model,
+            "scale": self.scale,
+            "penalty": self.penalty,
+            "precond": self.precond,
+            "eps": self.eps,
+            "return_x": self.return_x,
+        }
+        if self.job_id is not None:
+            d["id"] = self.job_id
+        if self.max_iter is not None:
+            d["max_iter"] = self.max_iter
+        if isinstance(self.rhs, np.ndarray):
+            d["rhs"] = self.rhs.tolist()
+        else:
+            d["rhs"] = self.rhs
+        return d
+
+    def solve_key(self) -> tuple:
+        """Requests with equal keys may legally coalesce into one
+        block solve (same operator, same preconditioner, same stopping
+        criteria)."""
+        return (self.model, self.scale, self.penalty, self.precond, self.eps, self.max_iter)
+
+
+def _check_rhs(rhs: Any) -> Any:
+    if isinstance(rhs, str):
+        if rhs != "model":
+            raise ProtocolError(f"rhs string must be 'model', got {rhs!r}")
+        return rhs
+    if isinstance(rhs, dict):
+        if set(rhs) != {"seed"}:
+            raise ProtocolError(f"rhs object must be {{'seed': int}}, got {rhs!r}")
+        return {"seed": int(rhs["seed"])}
+    if isinstance(rhs, np.ndarray):
+        return np.asarray(rhs, dtype=np.float64)
+    if isinstance(rhs, (list, tuple)):
+        arr = np.asarray(rhs, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ProtocolError(f"explicit rhs must be a flat list, got shape {arr.shape}")
+        return arr
+    raise ProtocolError(f"unsupported rhs spec: {rhs!r}")
+
+
+@dataclass
+class SolveResponse:
+    """Result of one job, including the serving-layer accounting that
+    the acceptance gates assert on (setup counter deltas, cache events,
+    coalescing width)."""
+
+    job_id: str
+    ok: bool
+    converged: bool = False
+    iterations: int = 0
+    relative_residual: float = float("nan")
+    ndof: int = 0
+    fingerprint: str = ""
+    coalesced: int = 1
+    wall_seconds: float = 0.0
+    cache: dict[str, str] = field(default_factory=dict)
+    setups: dict[str, int] = field(default_factory=dict)
+    x_sha256: str = ""
+    x: np.ndarray | None = None
+    return_x: bool = False
+    resumed: bool = False
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "id": self.job_id,
+            "ok": self.ok,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "relative_residual": self.relative_residual,
+            "ndof": self.ndof,
+            "fingerprint": self.fingerprint,
+            "coalesced": self.coalesced,
+            "wall_seconds": self.wall_seconds,
+            "cache": dict(self.cache),
+            "setups": dict(self.setups),
+            "x_sha256": self.x_sha256,
+            "resumed": self.resumed,
+        }
+        if self.return_x and self.x is not None:
+            d["x"] = np.asarray(self.x).tolist()
+        if self.error is not None:
+            d["error"] = self.error
+        return d
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict())

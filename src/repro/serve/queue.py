@@ -1,0 +1,268 @@
+"""Coalescing job queue with durable journaling and crash recovery.
+
+Life of a job:
+
+1. ``submit`` — assign an id; if a completed result journal for that id
+   already exists, short-circuit to it (idempotent retry), else mark the
+   job pending;
+2. ``process`` — journal every pending request durably (via
+   :mod:`repro.io.journal`: checksummed, atomically replaced), **then**
+   group + coalesce + solve through the session, **then** journal each
+   result;
+3. ``resume`` — scan the journal directory for requests without results,
+   re-submit them, process.
+
+Determinism contract: requests are journaled *before* any solving, and
+``process`` always works through pending jobs in job-id order, grouping
+by solve key in first-appearance order.  A replay after a crash therefore
+reassembles exactly the coalesced solves of the original run — same
+groups, same RHS column order — so resumed answers are bit-for-bit what
+the uninterrupted server would have returned.
+
+Crash injection for tests (``REPRO_SERVE_CRASH`` env var):
+``after-journal`` hard-exits once the pending requests are journaled but
+before solving; ``before-result`` hard-exits after solving but before any
+result journal is written.  Both are windows a real crash could hit; in
+both, ``resume`` must recover every in-flight job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.io.journal import read_journal, write_journal
+from repro.serve.protocol import ProtocolError, SolveRequest, SolveResponse
+from repro.serve.session import SolverSession
+
+__all__ = ["Job", "JobQueue"]
+
+_REQ_SUFFIX = ".req.jnl"
+_RES_SUFFIX = ".res.jnl"
+CRASH_ENV = "REPRO_SERVE_CRASH"
+
+
+def _crash_hook(stage: str) -> None:
+    # os._exit so no atexit/finally can soften the simulated crash.
+    if os.environ.get(CRASH_ENV) == stage:
+        os._exit(17)
+
+
+@dataclass
+class Job:
+    job_id: str
+    request: SolveRequest
+    state: str = "pending"  # pending | done | failed
+    response: SolveResponse | None = None
+    journaled: bool = False
+
+
+# -- request <-> journal codec -------------------------------------------
+
+
+def _request_journal_parts(req: SolveRequest) -> tuple[dict[str, np.ndarray], dict]:
+    meta = req.to_dict()
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(req.rhs, np.ndarray):
+        # Big payloads ride in the npz section; the meta keeps a digest so
+        # retries of the same id can be matched against the recorded job.
+        arr = np.ascontiguousarray(req.rhs)
+        meta["rhs"] = "__array__"
+        meta["rhs_sha256"] = hashlib.sha256(arr.tobytes()).hexdigest()
+        arrays["rhs"] = arr
+    return arrays, meta
+
+
+def _request_from_journal(arrays: dict[str, np.ndarray], meta: dict) -> SolveRequest:
+    d = {k: v for k, v in meta.items() if k != "rhs_sha256"}
+    if d.get("rhs") == "__array__":
+        d["rhs"] = arrays["rhs"]
+    return SolveRequest.from_dict(d)
+
+
+class JobQueue:
+    """Single-consumer queue in front of a :class:`SolverSession`.
+
+    ``journal_dir=None`` disables durability (pure in-memory serving);
+    with a directory, every accepted job is journaled before it runs and
+    every finished job's answer is journaled after.
+    """
+
+    def __init__(self, session: SolverSession | None = None,
+                 journal_dir: str | Path | None = None) -> None:
+        self.session = session if session is not None else SolverSession()
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs: dict[str, Job] = {}
+        self._counter = 0
+
+    # -- paths ------------------------------------------------------------
+
+    def _req_path(self, job_id: str) -> Path:
+        assert self.journal_dir is not None
+        return self.journal_dir / f"{job_id}{_REQ_SUFFIX}"
+
+    def _res_path(self, job_id: str) -> Path:
+        assert self.journal_dir is not None
+        return self.journal_dir / f"{job_id}{_RES_SUFFIX}"
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> Job:
+        job_id = request.job_id
+        if job_id is None:
+            while True:
+                self._counter += 1
+                job_id = f"job-{self._counter:06d}"
+                if job_id not in self._jobs:
+                    break
+            request.job_id = job_id
+        elif job_id in self._jobs:
+            raise ProtocolError(f"duplicate job id {job_id!r}")
+
+        job = Job(job_id=job_id, request=request)
+        if self.journal_dir is not None and self._res_path(job_id).exists():
+            response = self._load_result(job_id, request)
+            if response is not None:
+                job.response = response
+                job.state = "done" if response.ok else "failed"
+                job.journaled = True
+        self._jobs[job_id] = job
+        return job
+
+    def _load_result(self, job_id: str, request: SolveRequest) -> SolveResponse | None:
+        """Idempotent-retry short circuit: a completed journal with a
+        matching request replays the recorded answer without solving.
+        A *different* request under the same id is refused loudly."""
+        arrays, meta = read_journal(self._res_path(job_id))
+        recorded = meta.get("request", {})
+        current = _request_journal_parts(request)[1]
+        ignore = ("return_x",)  # presentation-only field
+        if {k: v for k, v in recorded.items() if k not in ignore} != \
+           {k: v for k, v in current.items() if k not in ignore}:
+            raise ProtocolError(
+                f"job id {job_id!r} already has a journaled result for a "
+                "different request; refusing to overwrite it"
+            )
+        resp_meta = meta["response"]
+        return SolveResponse(
+            job_id=job_id,
+            ok=bool(resp_meta["ok"]),
+            converged=bool(resp_meta["converged"]),
+            iterations=int(resp_meta["iterations"]),
+            relative_residual=float(resp_meta["relative_residual"]),
+            ndof=int(resp_meta["ndof"]),
+            fingerprint=resp_meta["fingerprint"],
+            coalesced=int(resp_meta["coalesced"]),
+            wall_seconds=float(resp_meta["wall_seconds"]),
+            cache=dict(resp_meta["cache"]),
+            setups=dict(resp_meta["setups"]),
+            x_sha256=resp_meta["x_sha256"],
+            x=arrays.get("x"),
+            return_x=request.return_x,
+            resumed=True,
+            error=resp_meta.get("error"),
+        )
+
+    # -- processing --------------------------------------------------------
+
+    def process(self) -> list[Job]:
+        """Run every pending job; returns the jobs finished by this call."""
+        pending = sorted(
+            (j for j in self._jobs.values() if j.state == "pending"),
+            key=lambda j: j.job_id,
+        )
+        if not pending:
+            return []
+
+        if self.journal_dir is not None:
+            for job in pending:
+                if not job.journaled:
+                    arrays, meta = _request_journal_parts(job.request)
+                    write_journal(self._req_path(job.job_id), arrays, meta)
+                    job.journaled = True
+            _crash_hook("after-journal")
+
+        responses = self.session.solve_batch([j.request for j in pending])
+        if self.journal_dir is not None:
+            _crash_hook("before-result")
+
+        for job, resp in zip(pending, responses):
+            job.response = resp
+            job.state = "done" if resp.ok else "failed"
+            if self.journal_dir is not None:
+                self._journal_result(job)
+        return pending
+
+    def _journal_result(self, job: Job) -> None:
+        resp = job.response
+        assert resp is not None
+        arrays: dict[str, np.ndarray] = {}
+        if resp.x is not None:
+            arrays["x"] = np.asarray(resp.x)
+        resp_meta: dict[str, Any] = {
+            "ok": resp.ok,
+            "converged": resp.converged,
+            "iterations": resp.iterations,
+            "relative_residual": resp.relative_residual,
+            "ndof": resp.ndof,
+            "fingerprint": resp.fingerprint,
+            "coalesced": resp.coalesced,
+            "wall_seconds": resp.wall_seconds,
+            "cache": resp.cache,
+            "setups": resp.setups,
+            "x_sha256": resp.x_sha256,
+        }
+        if resp.error is not None:
+            resp_meta["error"] = resp.error
+        _, req_meta = _request_journal_parts(job.request)
+        write_journal(
+            self._res_path(job.job_id), arrays,
+            {"request": req_meta, "response": resp_meta},
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    def resume(self) -> list[Job]:
+        """Recover in-flight jobs from the journal directory.
+
+        Every request journal without a matching (or with a complete)
+        result journal is re-submitted; completed ones short-circuit to
+        their recorded answer, the rest re-solve deterministically.
+        Returns the recovered jobs in job-id order.
+        """
+        if self.journal_dir is None:
+            return []
+        recovered: list[Job] = []
+        for req_path in sorted(self.journal_dir.glob(f"*{_REQ_SUFFIX}")):
+            job_id = req_path.name[: -len(_REQ_SUFFIX)]
+            if job_id in self._jobs:
+                continue
+            arrays, meta = read_journal(req_path)
+            request = _request_from_journal(arrays, meta)
+            request.job_id = job_id
+            job = self.submit(request)
+            job.journaled = True
+            recovered.append(job)
+        self.process()
+        for job in recovered:
+            if job.response is not None:
+                job.response.resumed = True
+        return recovered
+
+    # -- introspection -----------------------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def stats(self) -> dict[str, Any]:
+        states: dict[str, int] = {"pending": 0, "done": 0, "failed": 0}
+        for j in self._jobs.values():
+            states[j.state] = states.get(j.state, 0) + 1
+        return {"jobs": states, "session": self.session.stats()}

@@ -1,0 +1,168 @@
+"""Service front ends: JSONL over stdio, a unix socket, or one-shot files.
+
+No third-party dependencies — the wire is newline-delimited JSON over
+whatever byte stream is at hand.  Batching (and therefore multi-RHS
+coalescing) is explicit and deterministic: requests accumulate until a
+**blank line** or end-of-stream, then the whole batch is journaled,
+grouped and solved together, and the responses are written back in
+submission order.  A client that wants coalescing writes its requests in
+one burst and follows with a blank line; a client that wants solo solves
+flushes after every line.
+
+Control lines (a JSON object with a ``cmd`` key) ride the same stream:
+``{"cmd": "stats"}`` reports queue/cache/session counters and
+``{"cmd": "shutdown"}`` stops a socket server after acknowledging.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.serve.protocol import ProtocolError, SolveRequest
+from repro.serve.queue import Job, JobQueue
+
+__all__ = ["run_batch", "serve_socket", "serve_stdio"]
+
+
+def _emit(out: TextIO, payload: dict[str, Any]) -> None:
+    out.write(json.dumps(payload) + "\n")
+    out.flush()
+
+
+def _flush_batch(queue: JobQueue, batch: list[Job], out: TextIO) -> int:
+    """Solve the accumulated batch and answer in submission order."""
+    if not batch:
+        return 0
+    queue.process()
+    for job in batch:
+        if job.response is not None:
+            out.write(job.response.to_json_line() + "\n")
+        else:  # defensive: process() always sets a response for pending jobs
+            _emit(out, {"id": job.job_id, "ok": False, "error": "job was not processed"})
+    out.flush()
+    n = len(batch)
+    batch.clear()
+    return n
+
+
+def _handle_line(queue: JobQueue, line: str, batch: list[Job], out: TextIO,
+                 state: dict[str, int]) -> str:
+    """Returns "continue", "flush", or "shutdown"; flushed-job counts
+    accumulate in ``state["answered"]``."""
+    stripped = line.strip()
+    if not stripped:
+        return "flush"
+    try:
+        obj = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        _emit(out, {"ok": False, "error": f"invalid JSON: {exc}"})
+        return "continue"
+    if isinstance(obj, dict) and "cmd" in obj:
+        cmd = obj["cmd"]
+        if cmd == "shutdown":
+            state["answered"] += _flush_batch(queue, batch, out)
+            _emit(out, {"ok": True, "cmd": "shutdown"})
+            return "shutdown"
+        if cmd == "stats":
+            state["answered"] += _flush_batch(queue, batch, out)
+            _emit(out, {"ok": True, "cmd": "stats", "stats": queue.stats()})
+            return "continue"
+        _emit(out, {"ok": False, "error": f"unknown cmd {cmd!r}"})
+        return "continue"
+    try:
+        request = SolveRequest.from_dict(obj)
+        batch.append(queue.submit(request))
+    except ProtocolError as exc:
+        _emit(out, {"ok": False, "error": str(exc)})
+    return "continue"
+
+
+def serve_stdio(queue: JobQueue, in_stream: TextIO | None = None,
+                out_stream: TextIO | None = None) -> int:
+    """Serve request lines from *in_stream* until EOF or shutdown.
+
+    Returns the number of jobs answered.  Responses for a batch are
+    written only at its flush boundary (blank line / EOF), so pipe
+    clients should send a burst then a blank line.
+    """
+    ins = in_stream if in_stream is not None else sys.stdin
+    out = out_stream if out_stream is not None else sys.stdout
+    batch: list[Job] = []
+    state = {"answered": 0}
+    for line in ins:
+        verdict = _handle_line(queue, line, batch, out, state)
+        if verdict == "flush":
+            state["answered"] += _flush_batch(queue, batch, out)
+        elif verdict == "shutdown":
+            return state["answered"]
+    state["answered"] += _flush_batch(queue, batch, out)
+    return state["answered"]
+
+
+def serve_socket(queue: JobQueue, socket_path: str | Path) -> int:
+    """Serve one connection at a time on a unix domain socket.
+
+    Each connection is its own stream: blank line flushes a batch,
+    client half-close flushes and ends the connection,
+    ``{"cmd": "shutdown"}`` stops the server.  Returns jobs answered.
+    """
+    socket_path = Path(socket_path)
+    socket_path.unlink(missing_ok=True)
+    srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    state = {"answered": 0}
+    try:
+        srv.bind(str(socket_path))
+        srv.listen(8)
+        while True:
+            conn, _ = srv.accept()
+            with conn:
+                # The makefile wrappers hold the fd open past conn.close();
+                # close them explicitly or the client never sees EOF.
+                with conn.makefile("r", encoding="utf-8") as rfile, \
+                     conn.makefile("w", encoding="utf-8") as wfile:
+                    batch: list[Job] = []
+                    shutdown = False
+                    for line in rfile:
+                        verdict = _handle_line(queue, line, batch, wfile, state)
+                        if verdict == "flush":
+                            state["answered"] += _flush_batch(queue, batch, wfile)
+                        elif verdict == "shutdown":
+                            shutdown = True
+                            break
+                    state["answered"] += _flush_batch(queue, batch, wfile)
+                    wfile.flush()
+            if shutdown:
+                return state["answered"]
+    finally:
+        srv.close()
+        socket_path.unlink(missing_ok=True)
+
+
+def run_batch(queue: JobQueue, requests_path: str | Path,
+              out_path: str | Path | None = None) -> list[Job]:
+    """One-shot mode: read a JSONL request file, solve, write responses.
+
+    The whole file is one batch (maximum coalescing).  Returns the jobs
+    in file order; with *out_path*, also writes one response per line.
+    """
+    jobs: list[Job] = []
+    text = Path(requests_path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            request = SolveRequest.from_json_line(line)
+        except ProtocolError as exc:
+            raise ProtocolError(f"{requests_path}:{lineno}: {exc}") from exc
+        jobs.append(queue.submit(request))
+    queue.process()
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            for job in jobs:
+                assert job.response is not None
+                fh.write(job.response.to_json_line() + "\n")
+    return jobs

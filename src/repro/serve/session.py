@@ -1,0 +1,381 @@
+"""Persistent solver workspace: cached setup keyed by problem fingerprint.
+
+Cost anatomy of one solve (bench default block model, SB-BIC(0)):
+meshing + assembly + BC elimination dominate, then selective-blocking
+analysis + IC symbolic pattern work, then the numeric factorization —
+the CG iterations themselves are a minority of a cold solve.  All of the
+above except the numeric phase is *value-independent*, so a service that
+keeps it resident turns a repeat solve into: gather values into a cached
+union pattern (:meth:`~repro.fem.model.ContactStructure.system`), run a
+values-only ``refactor``, iterate.  A repeat solve at an *identical*
+operator fingerprint skips even the refactor.
+
+Three LRU caches, all bounded (capacity configurable, evictions feed the
+process-wide ``setup_counters()`` census):
+
+- **structures** — ``(model, scale)`` -> :class:`ContactStructure`
+  plus a content hash of its arrays (computed once per build);
+- **symbolics** — ``(model, scale, precond)`` -> ``ICSymbolic`` so a
+  factor-cache miss after eviction still skips all pattern work;
+- **factors** — ``(model, scale, precond)`` -> ``(preconditioner,
+  operator fingerprint)``; fingerprint match = pure hit (zero setups),
+  mismatch = numeric ``refactor``.
+
+:class:`SolverSession` adds request handling on top: it resolves RHS
+specs, groups a batch by ``(fingerprint, precond, eps, max_iter)``,
+dedups identical right-hand sides, and solves each group with one
+:func:`~repro.solvers.cg.cg_solve` (single RHS) or one
+:func:`~repro.solvers.block_cg.block_cg_solve` (multi-RHS).  Grouping is
+deterministic (first-appearance order), which is what makes a journal
+replay after a crash reproduce answers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import kernels, obs
+from repro.fem.model import ContactStructure
+from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
+from repro.precond.icfact import record_cache_eviction, setup_counters
+from repro.resilience.checkpoint import fingerprint_arrays
+from repro.serve.protocol import ProtocolError, SolveRequest, SolveResponse
+from repro.solvers import block_cg_solve, cg_solve
+
+__all__ = ["LRUCache", "SolverSession", "Workspace"]
+
+
+class LRUCache:
+    """Bounded least-recently-used map with hit/miss/eviction accounting.
+
+    Evictions are also reported to the process-wide setup census
+    (``setup_counters()["evictions"]``) so tests and benchmarks can
+    assert cache pressure the same way they assert symbolic/numeric
+    setup counts.
+    """
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            record_cache_eviction()
+            obs.metric_inc("serve.cache.evictions", cache=self.name)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def _structure_builders() -> dict[str, Callable[[float], ContactStructure]]:
+    # Deferred import: experiments.workloads imports fem.model, and the
+    # serve layer sits above both.
+    from repro.experiments.workloads import block_structure, swjapan_structure
+
+    return {"block": block_structure, "swjapan": swjapan_structure}
+
+
+def _build_preconditioner(precond: str, a, groups, symbolic=None):
+    if precond == "diag":
+        return DiagonalScaling(a)
+    if precond == "ic0":
+        return scalar_ic0(a, symbolic=symbolic)
+    if precond == "sbbic0":
+        return sb_bic0(a, groups, symbolic=symbolic)
+    if precond.startswith("bic"):
+        return bic(a, fill_level=int(precond[3:]), symbolic=symbolic)
+    raise ProtocolError(f"unknown preconditioner {precond!r}")
+
+
+class Workspace:
+    """The cached-setup store behind a :class:`SolverSession`.
+
+    *capacity* bounds every tier; the keyword overrides size individual
+    tiers (factors hold the numeric payload and are the usual candidate
+    for a tighter bound than the cheap symbolic patterns)."""
+
+    def __init__(self, capacity: int = 8, *,
+                 structure_capacity: int | None = None,
+                 symbolic_capacity: int | None = None,
+                 factor_capacity: int | None = None) -> None:
+        self.structures = LRUCache(structure_capacity or capacity, "structure")
+        self.symbolics = LRUCache(symbolic_capacity or capacity, "symbolic")
+        self.factors = LRUCache(factor_capacity or capacity, "factor")
+
+    # -- structure + operator --------------------------------------------
+
+    def structure(self, model: str, scale: float) -> tuple[ContactStructure, str, str]:
+        """Return ``(structure, content_hash, "hit"|"miss")``."""
+        key = (model, scale)
+        entry = self.structures.get(key)
+        if entry is not None:
+            return entry[0], entry[1], "hit"
+        with obs.span("serve.build_structure", model=model, scale=scale):
+            s = _structure_builders()[model](scale)
+        content = fingerprint_arrays(
+            "structure-v1", model, scale,
+            s.pattern.indptr, s.pattern.indices, s.a0.data, s.a1.data, s.b,
+        )
+        self.structures.put(key, (s, content))
+        return s, content, "miss"
+
+    @staticmethod
+    def operator_fingerprint(content_hash: str, penalty: float) -> str:
+        """Identity of the materialized operator ``A(penalty)`` + load.
+
+        Derived from the structure *content* hash (not its cache key), so
+        it survives eviction/rebuild and process restarts."""
+        return fingerprint_arrays("operator-v1", content_hash, penalty)
+
+    # -- preconditioner --------------------------------------------------
+
+    def preconditioner(self, model: str, scale: float, precond: str, a, groups,
+                       fingerprint: str) -> tuple[Any, str]:
+        """Return ``(m, event)`` with event one of:
+
+        - ``"hit"``      — cached factor, fingerprint matched: 0 setups;
+        - ``"refactor"`` — cached factor, new values: numeric only;
+        - ``"numeric"``  — no factor but cached symbolic: numeric only;
+        - ``"build"``    — cold: symbolic + numeric.
+        """
+        key = (model, scale, precond)
+        entry = self.factors.get(key)
+        if entry is not None:
+            m, cached_fp = entry
+            if cached_fp == fingerprint:
+                return m, "hit"
+            with obs.span("serve.refactor", precond=precond):
+                if precond == "diag":
+                    m = DiagonalScaling(a)
+                else:
+                    m.refactor(a)
+            self.factors.put(key, (m, fingerprint))
+            return m, "refactor"
+
+        symbolic = self.symbolics.get(key) if precond != "diag" else None
+        event = "numeric" if symbolic is not None else "build"
+        with obs.span("serve.build_preconditioner", precond=precond, mode=event):
+            m = _build_preconditioner(precond, a, groups, symbolic=symbolic)
+        if precond != "diag" and symbolic is None:
+            self.symbolics.put(key, m.symbolic)
+        self.factors.put(key, (m, fingerprint))
+        return m, event
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "structures": self.structures.stats(),
+            "symbolics": self.symbolics.stats(),
+            "factors": self.factors.stats(),
+        }
+
+
+def _rhs_array(req: SolveRequest, s: ContactStructure) -> np.ndarray:
+    if isinstance(req.rhs, str):  # "model"
+        return s.b
+    if isinstance(req.rhs, dict):  # {"seed": k}
+        return np.random.default_rng(req.rhs["seed"]).standard_normal(s.ndof)
+    arr = np.asarray(req.rhs, dtype=np.float64)
+    if arr.shape != (s.ndof,):
+        raise ProtocolError(
+            f"explicit rhs has length {arr.shape[0]}, model has {s.ndof} DOF"
+        )
+    return arr
+
+
+def _sha256(x: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(x).tobytes()).hexdigest()
+
+
+class SolverSession:
+    """A long-lived solving context: workspace + warmed kernels.
+
+    ``solve_batch`` is the coalescing entry point the queue uses; a
+    single ``solve`` is just a batch of one.
+    """
+
+    def __init__(self, capacity: int = 8, warm_kernels: bool = True,
+                 **tier_capacities) -> None:
+        self.workspace = Workspace(capacity, **tier_capacities)
+        self.kernel_backend = kernels.active_backend()
+        self.warmup_seconds = float(kernels.warmup()["seconds"]) if warm_kernels else 0.0
+        self.jobs_served = 0
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        return self.solve_batch([request])[0]
+
+    def solve_batch(self, requests: list[SolveRequest]) -> list[SolveResponse]:
+        """Solve a batch, coalescing same-operator requests.
+
+        Requests sharing a solve key (operator fingerprint +
+        preconditioner + stopping criteria) become one multi-RHS solve;
+        exact-duplicate right-hand sides within a group are solved once
+        and fan the answer back out.  Responses come back in request
+        order.  A failed group fails only its own jobs.
+        """
+        responses: list[SolveResponse | None] = [None] * len(requests)
+
+        # Prepare: resolve structure + rhs + fingerprint per request.
+        prepared: list[dict[str, Any] | None] = [None] * len(requests)
+        for i, req in enumerate(requests):
+            job_id = req.job_id if req.job_id is not None else f"job-{i}"
+            try:
+                s, content, s_event = self.workspace.structure(req.model, req.scale)
+                fp = self.workspace.operator_fingerprint(content, req.penalty)
+                rhs = _rhs_array(req, s)
+            except Exception as exc:  # malformed request must not kill the batch
+                responses[i] = SolveResponse(job_id=job_id, ok=False, error=str(exc))
+                continue
+            prepared[i] = {
+                "req": req, "job_id": job_id, "s": s, "fp": fp,
+                "rhs": rhs, "s_event": s_event,
+            }
+
+        # Group by solve key, preserving first-appearance order.
+        groups: OrderedDict[tuple, list[int]] = OrderedDict()
+        for i, p in enumerate(prepared):
+            if p is None:
+                continue
+            key = (p["fp"], p["req"].precond, p["req"].eps, p["req"].max_iter)
+            groups.setdefault(key, []).append(i)
+
+        for (fp, precond, eps, max_iter), idxs in groups.items():
+            self._solve_group(fp, precond, eps, max_iter, idxs, prepared, responses)
+
+        self.jobs_served += sum(1 for r in responses if r is not None and r.ok)
+        return [r for r in responses if r is not None]
+
+    # -- one coalesced group ---------------------------------------------
+
+    def _solve_group(self, fp: str, precond: str, eps: float, max_iter: int | None,
+                     idxs: list[int], prepared: list, responses: list) -> None:
+        first = prepared[idxs[0]]
+        req0: SolveRequest = first["req"]
+        s: ContactStructure = first["s"]
+        before = setup_counters()
+        t0 = time.perf_counter()
+        try:
+            a = s.system(req0.penalty)
+            m, f_event = self.workspace.preconditioner(
+                req0.model, req0.scale, precond, a, s.groups, fp
+            )
+
+            # Dedup exact-duplicate RHS: solve unique columns only.
+            col_of: dict[str, int] = {}
+            cols: list[np.ndarray] = []
+            job_col: list[int] = []
+            for i in idxs:
+                digest = _sha256(prepared[i]["rhs"])
+                if digest not in col_of:
+                    col_of[digest] = len(cols)
+                    cols.append(prepared[i]["rhs"])
+                job_col.append(col_of[digest])
+
+            if len(cols) == 1:
+                res = cg_solve(a, cols[0], m, eps=eps, max_iter=max_iter,
+                               record_history=False)
+                xs = [res.x]
+                iters = [res.iterations]
+                relres = [res.relative_residual]
+                conv = [res.converged]
+                total_iters = res.iterations
+            else:
+                bres = block_cg_solve(a, np.column_stack(cols), m, eps=eps,
+                                      max_iter=max_iter, record_history=False)
+                xs = [bres.x[:, j] for j in range(len(cols))]
+                iters = list(bres.column_iterations)
+                relres = list(bres.relative_residuals)
+                conv = list(bres.converged_columns)
+                total_iters = bres.iterations
+        except Exception as exc:
+            err = f"{type(exc).__name__}: {exc}"
+            for i in idxs:
+                responses[i] = SolveResponse(
+                    job_id=prepared[i]["job_id"], ok=False, fingerprint=fp, error=err
+                )
+            return
+
+        wall = time.perf_counter() - t0
+        after = setup_counters()
+        setups = {k: after[k] - before[k] for k in after}
+        cache = {"structure": first["s_event"], "factor": f_event}
+        ncoal = len(idxs)
+
+        for i, col in zip(idxs, job_col):
+            p = prepared[i]
+            x = xs[col]
+            responses[i] = SolveResponse(
+                job_id=p["job_id"],
+                ok=True,
+                converged=bool(conv[col]),
+                iterations=int(iters[col]),
+                relative_residual=float(relres[col]),
+                ndof=s.ndof,
+                fingerprint=fp,
+                coalesced=ncoal,
+                wall_seconds=wall,
+                cache=dict(cache),
+                setups=dict(setups),
+                x_sha256=_sha256(x),
+                x=x,
+                return_x=p["req"].return_x,
+            )
+            obs.record_span(
+                "serve.job", wall,
+                job_id=p["job_id"], fingerprint=fp, model=p["req"].model,
+                penalty=p["req"].penalty, precond=precond, ndof=s.ndof,
+                coalesced=ncoal, iterations=int(iters[col]),
+                total_iterations=total_iters, converged=bool(conv[col]),
+                structure=cache["structure"], factor=cache["factor"],
+                symbolic_setups=setups.get("symbolic", 0),
+                numeric_setups=setups.get("numeric", 0),
+            )
+        obs.metric_inc("serve.groups")
+        obs.metric_inc("serve.jobs", ncoal)
+        if ncoal > 1:
+            obs.metric_inc("serve.coalesced_jobs", ncoal)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "kernel_backend": self.kernel_backend,
+            "warmup_seconds": self.warmup_seconds,
+            "jobs_served": self.jobs_served,
+            "caches": self.workspace.stats(),
+        }

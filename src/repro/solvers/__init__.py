@@ -2,12 +2,15 @@
 
 - :func:`~repro.solvers.cg.cg_solve` — preconditioned conjugate
   gradients, the paper's solver for the frictionless (SPD) case.
+- :func:`~repro.solvers.block_cg.block_cg_solve` — multi-RHS block CG
+  with deflation of converged columns; the serve layer's batched solver.
 - :func:`~repro.solvers.bicgstab.bicgstab_solve` and
   :func:`~repro.solvers.gmres.gmres_solve` — nonsymmetric companions for
   the frictional-contact extension (the paper's future-work case).
 """
 
 from repro.solvers.bicgstab import bicgstab_solve
+from repro.solvers.block_cg import BlockCGResult, block_cg_solve
 from repro.solvers.cg import CGResult, cg_solve
 from repro.solvers.gmres import gmres_solve
 from repro.solvers.history import ConvergenceProfile, analyze_history
@@ -15,6 +18,8 @@ from repro.solvers.history import ConvergenceProfile, analyze_history
 __all__ = [
     "CGResult",
     "cg_solve",
+    "BlockCGResult",
+    "block_cg_solve",
     "bicgstab_solve",
     "gmres_solve",
     "ConvergenceProfile",

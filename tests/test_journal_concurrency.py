@@ -1,0 +1,135 @@
+"""Journal atomicity under concurrent writers.
+
+A fixed temporary name (``path + ".tmp"``) lets two concurrent writers
+truncate each other's half-written temp file before the replace — the
+classic atomic-write race the serve queue would hit when journaling from
+several workers.  The implementation uses ``mkstemp`` (unique inode per
+writer), making the final ``os.replace`` the only contention point, and
+that one is atomic: every read observes some writer's *complete*
+checkpoint, never a torn mix.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.io.journal import JournalError, read_journal, write_journal
+
+
+def _payload(tag: int, n: int = 4096) -> dict[str, np.ndarray]:
+    # all-same-value payload: a torn mix of two writers cannot pass as
+    # either one, and the checksum pins which writer's file we read
+    return {"x": np.full(n, float(tag)), "tag": np.array([tag])}
+
+
+class TestConcurrentWriters:
+    def test_threaded_writers_same_path_never_corrupt(self, tmp_path):
+        path = tmp_path / "contended.jnl"
+        n_writers, rounds = 8, 12
+        barrier = threading.Barrier(n_writers)
+        errors: list[BaseException] = []
+
+        def writer(tag: int) -> None:
+            try:
+                for r in range(rounds):
+                    barrier.wait()  # maximize overlap every round
+                    write_journal(path, _payload(tag), {"tag": tag, "round": r})
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(n_writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        arrays, meta = read_journal(path)  # must be SOME complete journal
+        tag = int(arrays["tag"][0])
+        assert 0 <= tag < n_writers
+        assert (arrays["x"] == float(tag)).all()
+        assert meta["tag"] == tag
+
+    def test_concurrent_reader_sees_only_complete_journals(self, tmp_path):
+        path = tmp_path / "live.jnl"
+        write_journal(path, _payload(0), {"tag": 0})
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    arrays, meta = read_journal(path)
+                except JournalError as exc:  # torn read = atomicity broken
+                    bad.append(str(exc))
+                    return
+                tag = int(arrays["tag"][0])
+                if not (arrays["x"] == float(tag)).all() or meta["tag"] != tag:
+                    bad.append(f"mixed payload for tag {tag}")
+                    return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(1, 40):
+            write_journal(path, _payload(i % 5), {"tag": i % 5})
+        stop.set()
+        t.join()
+        assert not bad, bad
+
+    def test_no_temp_litter_after_contention(self, tmp_path):
+        path = tmp_path / "clean.jnl"
+        threads = [
+            threading.Thread(target=write_journal, args=(path, _payload(t), {"tag": t}))
+            for t in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "clean.jnl"]
+        assert leftovers == []
+
+    def test_failed_write_cleans_its_temp(self, tmp_path):
+        path = tmp_path / "fail.jnl"
+        with pytest.raises(ValueError):
+            # reserved array name triggers the failure before any replace
+            write_journal(path, {"__meta_json__": np.zeros(1)}, {})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_distinct_writers_distinct_paths_parallel(self, tmp_path):
+        paths = [tmp_path / f"w{t}.jnl" for t in range(6)]
+        threads = [
+            threading.Thread(target=write_journal, args=(p, _payload(t), {"tag": t}))
+            for t, p in enumerate(paths)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for t, p in enumerate(paths):
+            arrays, meta = read_journal(p)
+            assert meta["tag"] == t and (arrays["x"] == float(t)).all()
+
+    def test_crash_between_tmp_and_replace_leaves_old_valid(self, tmp_path):
+        """A writer that dies before os.replace must leave the previous
+        journal untouched (simulated by failing the replace)."""
+        path = tmp_path / "victim.jnl"
+        write_journal(path, _payload(1), {"tag": 1})
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during replace")
+
+        os.replace = exploding_replace
+        try:
+            with pytest.raises(OSError, match="simulated"):
+                write_journal(path, _payload(2), {"tag": 2})
+        finally:
+            os.replace = real_replace
+        arrays, meta = read_journal(path)
+        assert meta["tag"] == 1 and (arrays["x"] == 1.0).all()

@@ -104,7 +104,7 @@ class TestRefactorAgreesWithFresh:
         m6 = sb_bic0(p6.a, p6.groups)
         reset_setup_counters()
         m3 = sb_bic0(p3.a, p3.groups, symbolic=m6.symbolic)
-        assert setup_counters() == {"symbolic": 0, "numeric": 1}
+        assert setup_counters() == {"symbolic": 0, "numeric": 1, "evictions": 0}
         fresh = sb_bic0(p3.a, p3.groups)
         r = np.random.default_rng(7).standard_normal(p3.ndof)
         _assert_same_factorization(m3, fresh, r)
@@ -229,7 +229,7 @@ class TestSingleSymbolicSetupInALM:
             precond_factory=lambda a: bic(a, fill_level=0),
         )
         assert res.converged and res.penalty_backoffs == 0
-        assert setup_counters() == {"symbolic": 1, "numeric": 1}
+        assert setup_counters() == {"symbolic": 1, "numeric": 1, "evictions": 0}
 
     def test_build_system_matches_explicit_sum(self, alm_system):
         """The values-only union-pattern build equals A_free + lam C^T C

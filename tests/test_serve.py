@@ -1,0 +1,372 @@
+"""Serve layer: workspace caching, coalescing queue, journaled recovery.
+
+The acceptance properties of the serving tentpole live here:
+
+- warm requests to a known fingerprint cause **zero** symbolic and zero
+  numeric setups (asserted through ``setup_counters()`` deltas);
+- LRU caches account hits/misses/evictions exactly, and evictions feed
+  the process-wide setup census;
+- a server killed between journaling and solving resumes from the
+  journal and returns bit-for-bit the answers of an uninterrupted run;
+- completed jobs replay idempotently from their result journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.precond.icfact import reset_setup_counters, setup_counters
+from repro.serve import (
+    JobQueue,
+    LRUCache,
+    ProtocolError,
+    SolveRequest,
+    SolverSession,
+    run_batch,
+    serve_stdio,
+)
+
+SCALE = 0.25  # smallest block model: fast enough for per-test sessions
+
+
+def _req(**kw) -> SolveRequest:
+    base = dict(model="block", scale=SCALE, penalty=1e6)
+    base.update(kw)
+    return SolveRequest(**base)
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        c = LRUCache(2, "t")
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.stats() == {
+            "capacity": 2, "size": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_eviction_order_and_census(self):
+        reset_setup_counters()
+        c = LRUCache(2, "t")
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a: b is now LRU
+        c.put("c", 3)
+        assert "b" not in c and "a" in c and "c" in c
+        assert c.evictions == 1
+        assert setup_counters()["evictions"] == 1
+
+    def test_put_existing_key_updates_without_evicting(self):
+        c = LRUCache(2, "t")
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)
+        assert c.get("a") == 10
+        assert c.evictions == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        req = SolveRequest.from_json_line(
+            '{"id": "j1", "model": "block", "scale": 0.5, "penalty": 1e4, '
+            '"rhs": {"seed": 3}}'
+        )
+        assert req.job_id == "j1" and req.penalty == 1e4
+        back = SolveRequest.from_dict(req.to_dict())
+        assert back.to_dict() == req.to_dict()
+
+    @pytest.mark.parametrize("line", [
+        "not json",
+        '{"model": "nope"}',
+        '{"precond": "lu"}',
+        '{"eps": -1}',
+        '{"scale": 0}',
+        '{"rhs": {"sneed": 1}}',
+        '{"rhs": [[1, 2], [3, 4]]}',
+        '{"unknown_field": 1}',
+        '{"id": "bad/../name"}',
+    ])
+    def test_bad_requests_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            SolveRequest.from_json_line(line)
+
+    def test_response_hides_x_unless_requested(self):
+        from repro.serve.protocol import SolveResponse
+
+        r = SolveResponse(job_id="a", ok=True, x=np.ones(3), return_x=False)
+        assert "x" not in r.to_dict()
+        r.return_x = True
+        assert r.to_dict()["x"] == [1.0, 1.0, 1.0]
+
+
+class TestSessionCaching:
+    def test_warm_request_zero_setups(self):
+        sess = SolverSession(capacity=4)
+        cold = sess.solve(_req())
+        assert cold.ok and cold.converged
+        assert cold.cache == {"structure": "miss", "factor": "build"}
+        assert cold.setups["symbolic"] == 1 and cold.setups["numeric"] == 1
+
+        warm = sess.solve(_req())
+        assert warm.cache == {"structure": "hit", "factor": "hit"}
+        assert warm.setups["symbolic"] == 0 and warm.setups["numeric"] == 0
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.x_sha256 == cold.x_sha256
+
+    def test_new_penalty_refactors_numeric_only(self):
+        sess = SolverSession(capacity=4)
+        sess.solve(_req(penalty=1e6))
+        warm = sess.solve(_req(penalty=1e4))
+        assert warm.cache == {"structure": "hit", "factor": "refactor"}
+        assert warm.setups["symbolic"] == 0 and warm.setups["numeric"] == 1
+
+    def test_symbolic_cache_survives_factor_swap(self):
+        """Ping-ponging two preconditioners in a capacity-1 factor cache
+        evicts factors, but the symbolic cache still avoids pattern work
+        once each family has been built once."""
+        sess = SolverSession(capacity=4, factor_capacity=1)
+        sess.solve(_req(precond="sbbic0"))
+        sess.solve(_req(precond="bic0"))  # evicts the sbbic0 factor
+        again = sess.solve(_req(precond="sbbic0"))
+        assert again.cache["factor"] == "numeric"  # symbolic hit, factor miss
+        assert again.setups["symbolic"] == 0 and again.setups["numeric"] == 1
+        assert sess.workspace.factors.evictions >= 1
+
+    def test_eviction_feeds_setup_census(self):
+        reset_setup_counters()
+        sess = SolverSession(capacity=4, factor_capacity=1)
+        sess.solve(_req(precond="sbbic0"))
+        sess.solve(_req(precond="bic0"))
+        assert setup_counters()["evictions"] >= 1
+
+    def test_warm_equals_cold_bitwise(self):
+        """The refactor path must reproduce a cold build bit-for-bit —
+        the property crash-resume determinism rests on."""
+        warm_sess = SolverSession(capacity=4)
+        warm_sess.solve(_req(penalty=1e4))
+        warm = warm_sess.solve(_req(penalty=1e6))  # refactor path
+        cold = SolverSession(capacity=4).solve(_req(penalty=1e6))  # build path
+        assert warm.cache["factor"] == "refactor"
+        assert cold.cache["factor"] == "build"
+        assert warm.x_sha256 == cold.x_sha256
+
+    def test_explicit_rhs_and_seed(self):
+        sess = SolverSession(capacity=4)
+        r1 = sess.solve(_req(rhs={"seed": 7}, return_x=True))
+        assert r1.ok and r1.x is not None
+        r2 = sess.solve(_req(rhs=list(np.asarray(r1.x) * 0 + 1.0), return_x=True))
+        assert r2.ok
+        bad = sess.solve(_req(rhs=[1.0, 2.0]))
+        assert not bad.ok and "DOF" in bad.error
+
+    def test_batch_coalesces_and_dedups(self):
+        sess = SolverSession(capacity=4)
+        reqs = [
+            _req(job_id="a", rhs={"seed": 1}),
+            _req(job_id="b", rhs={"seed": 2}),
+            _req(job_id="dup", rhs={"seed": 1}),
+            _req(job_id="other", penalty=1e4),
+        ]
+        rs = {r.job_id: r for r in sess.solve_batch(reqs)}
+        assert rs["a"].coalesced == 3 and rs["other"].coalesced == 1
+        assert rs["a"].x_sha256 == rs["dup"].x_sha256
+        assert rs["a"].fingerprint != rs["other"].fingerprint
+
+    def test_batch_order_preserved(self):
+        sess = SolverSession(capacity=4)
+        reqs = [
+            _req(job_id="z9", penalty=1e4),
+            _req(job_id="a1", penalty=1e6),
+            _req(job_id="m5", penalty=1e4),
+        ]
+        out = sess.solve_batch(reqs)
+        assert [r.job_id for r in out] == ["z9", "a1", "m5"]
+
+
+class TestQueue:
+    def test_journal_and_idempotent_retry(self, tmp_path):
+        q = JobQueue(journal_dir=tmp_path)
+        job = q.submit(_req(job_id="j1"))
+        q.process()
+        first = job.response
+        assert (tmp_path / "j1.req.jnl").exists()
+        assert (tmp_path / "j1.res.jnl").exists()
+
+        # a fresh queue (new process in real life) replays from the journal
+        q2 = JobQueue(journal_dir=tmp_path)
+        job2 = q2.submit(_req(job_id="j1"))
+        assert job2.state == "done" and job2.response.resumed
+        assert job2.response.x_sha256 == first.x_sha256
+        # ... without solving anything
+        assert q2.session.jobs_served == 0
+
+    def test_conflicting_retry_rejected(self, tmp_path):
+        q = JobQueue(journal_dir=tmp_path)
+        q.submit(_req(job_id="j1", penalty=1e6))
+        q.process()
+        q2 = JobQueue(journal_dir=tmp_path)
+        with pytest.raises(ProtocolError, match="different request"):
+            q2.submit(_req(job_id="j1", penalty=1e4))
+
+    def test_duplicate_live_id_rejected(self):
+        q = JobQueue()
+        q.submit(_req(job_id="j1"))
+        with pytest.raises(ProtocolError, match="duplicate"):
+            q.submit(_req(job_id="j1"))
+
+    def test_resume_recovers_unsolved_requests(self, tmp_path):
+        # Simulate a crash after journaling: write request journals by
+        # hand (through a queue that never processes) and resume fresh.
+        q = JobQueue(journal_dir=tmp_path)
+        for i in range(3):
+            q.submit(_req(job_id=f"j{i}", rhs={"seed": i}))
+        # journal the requests without solving
+        from repro.serve.queue import _request_journal_parts
+        from repro.io.journal import write_journal
+
+        for job in (q.job(f"j{i}") for i in range(3)):
+            arrays, meta = _request_journal_parts(job.request)
+            write_journal(tmp_path / f"{job.job_id}.req.jnl", arrays, meta)
+
+        q2 = JobQueue(journal_dir=tmp_path)
+        recovered = q2.resume()
+        assert [j.job_id for j in recovered] == ["j0", "j1", "j2"]
+        assert all(j.state == "done" for j in recovered)
+        assert all(j.response.resumed for j in recovered)
+
+    def test_failed_request_fails_only_its_job(self):
+        q = JobQueue()
+        good = q.submit(_req(job_id="good"))
+        bad = q.submit(_req(job_id="bad", rhs=[1.0]))
+        q.process()
+        assert good.state == "done"
+        assert bad.state == "failed" and "DOF" in bad.response.error
+
+
+class TestCrashResume:
+    """Real process death between journal and solve; resume must match an
+    uninterrupted run bit-for-bit."""
+
+    REQS = [
+        {"id": f"j{i}", "model": "block", "scale": SCALE,
+         "penalty": 1e6, "rhs": {"seed": i % 2}}
+        for i in range(4)
+    ]
+
+    def _run(self, tmp_path, jdir, crash=None):
+        code = f"""
+import sys
+sys.path.insert(0, {str(Path(__file__).resolve().parents[1] / 'src')!r})
+from repro.serve import JobQueue, SolveRequest
+q = JobQueue(journal_dir={str(jdir)!r})
+for d in {self.REQS!r}:
+    q.submit(SolveRequest.from_dict(d))
+q.process()
+for i in range(4):
+    j = q.job(f"j{{i}}")
+    print(j.job_id, j.response.x_sha256)
+"""
+        env = dict(os.environ)
+        env.pop("REPRO_SERVE_CRASH", None)
+        if crash:
+            env["REPRO_SERVE_CRASH"] = crash
+        return subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+
+    def test_crash_after_journal_then_resume_bitwise(self, tmp_path):
+        ref = self._run(tmp_path, tmp_path / "ref")
+        assert ref.returncode == 0, ref.stderr
+        reference = dict(l.split() for l in ref.stdout.strip().splitlines())
+
+        crashed = self._run(tmp_path, tmp_path / "crash", crash="after-journal")
+        assert crashed.returncode == 17  # os._exit(17) in the crash hook
+        jdir = tmp_path / "crash"
+        assert len(list(jdir.glob("*.req.jnl"))) == 4
+        assert not list(jdir.glob("*.res.jnl"))
+
+        q = JobQueue(journal_dir=jdir)
+        recovered = {j.job_id: j for j in q.resume()}
+        assert set(recovered) == set(reference)
+        for job_id, sha in reference.items():
+            assert recovered[job_id].response.x_sha256 == sha
+
+    def test_crash_before_result_then_resume_bitwise(self, tmp_path):
+        ref = self._run(tmp_path, tmp_path / "ref2")
+        reference = dict(l.split() for l in ref.stdout.strip().splitlines())
+
+        crashed = self._run(tmp_path, tmp_path / "crash2", crash="before-result")
+        assert crashed.returncode == 17
+        q = JobQueue(journal_dir=tmp_path / "crash2")
+        recovered = {j.job_id: j for j in q.resume()}
+        for job_id, sha in reference.items():
+            assert recovered[job_id].response.x_sha256 == sha
+
+
+class TestServerFrontends:
+    def test_stdio_blank_line_flush(self, tmp_path):
+        import io
+
+        lines = [
+            json.dumps({"id": "a", "model": "block", "scale": SCALE, "penalty": 1e6}),
+            "",
+            json.dumps({"id": "b", "model": "block", "scale": SCALE, "penalty": 1e6}),
+            json.dumps({"cmd": "stats"}),
+        ]
+        out = io.StringIO()
+        q = JobQueue()
+        answered = serve_stdio(q, io.StringIO("\n".join(lines) + "\n"), out)
+        assert answered == 2
+        recs = [json.loads(l) for l in out.getvalue().splitlines()]
+        by_id = {r.get("id"): r for r in recs if "id" in r}
+        assert by_id["a"]["cache"] == {"structure": "miss", "factor": "build"}
+        assert by_id["b"]["cache"] == {"structure": "hit", "factor": "hit"}
+        stats = next(r for r in recs if r.get("cmd") == "stats")
+        assert stats["stats"]["jobs"]["done"] == 2
+
+    def test_stdio_bad_line_answers_error(self):
+        import io
+
+        out = io.StringIO()
+        serve_stdio(JobQueue(), io.StringIO("this is not json\n"), out)
+        rec = json.loads(out.getvalue().splitlines()[0])
+        assert not rec["ok"] and "invalid JSON" in rec["error"]
+
+    def test_run_batch_file(self, tmp_path):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text("\n".join(
+            json.dumps({"id": f"j{i}", "model": "block", "scale": SCALE,
+                        "penalty": 1e6, "rhs": {"seed": i}})
+            for i in range(3)
+        ) + "\n")
+        out = tmp_path / "out.jsonl"
+        jobs = run_batch(JobQueue(), reqs, out)
+        assert [j.job_id for j in jobs] == ["j0", "j1", "j2"]
+        recs = [json.loads(l) for l in out.read_text().splitlines()]
+        assert all(r["ok"] and r["coalesced"] == 3 for r in recs)
+
+    def test_requests_table_from_trace(self, tmp_path):
+        from repro import obs
+
+        with obs.observe() as sess:
+            q = JobQueue()
+            q.submit(_req(job_id="t1"))
+            q.process()
+        table = obs.requests_table(sess.tracer)
+        assert "t1" in table and "miss/build" in table
+        path = tmp_path / "trace.jsonl"
+        obs.export_jsonl(sess.tracer, path, sess.metrics)
+        table2 = obs.requests_table(obs.load_jsonl_records(path))
+        assert "t1" in table2
