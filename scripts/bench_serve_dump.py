@@ -17,6 +17,11 @@ penalty 1e4, SB-BIC(0)):
 3. **Service-level batch throughput**: 8 seeded requests through
    ``solve_batch`` (coalesced into one blocked solve) against the same
    8 served one at a time on an already-warm session.
+4. **Pooled group concurrency**: 4 requests with *distinct* factor
+   fingerprints (one per preconditioner) dispatched through a 4-worker
+   :class:`repro.serve.WorkerPool` in thread mode, against the same
+   batch on the serial ``solve_batch`` path.  Answers must be
+   bit-identical across the two paths.
 
 Usage::
 
@@ -27,13 +32,15 @@ Writes ``BENCH_serve.json`` at the repository root (override with
 ``--out``).  Exit status is non-zero if a measurement regresses below
 the acceptance floors (warm latency >= 3x lower than cold with zero
 setups, block-CG throughput >= 2x sequential, block-vs-sequential
-parity <= 1e-10) unless ``--no-gate`` is given.
+parity <= 1e-10, pooled groups >= 2x serial on >= 4 cores with a
+0.75x overhead floor below) unless ``--no-gate`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -47,7 +54,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import kernels  # noqa: E402
 from repro.experiments.workloads import block_structure  # noqa: E402
 from repro.precond import sb_bic0  # noqa: E402
-from repro.serve import SolveRequest, SolverSession  # noqa: E402
+from repro.serve import SolveRequest, SolverSession, WorkerPool  # noqa: E402
 from repro.solvers.block_cg import block_cg_solve  # noqa: E402
 from repro.solvers.cg import cg_solve  # noqa: E402
 
@@ -57,6 +64,15 @@ PENALTY = 1.0e4  # low contact stiffness: block/sequential parity is exact-ish
 PRECOND = "sbbic0"
 N_RHS = 8
 PARITY_EPS = 1e-13
+# Independent fingerprint groups for the pool bench: distinct preconds
+# mean distinct factor keys, so a 4-worker pool can overlap all four.
+POOL_PRECONDS = ("sbbic0", "bic0", "bic1", "ic0")
+POOL_WORKERS = len(POOL_PRECONDS)
+POOL_MIN_CORES = 4  # the 2x gate only makes sense with real parallel cores
+POOL_SPEEDUP_GATE = 2.0
+# Under POOL_MIN_CORES the threads time-slice one core, so pooled can
+# only lose; gate that the dispatch/merge overhead stays bounded.
+POOL_OVERHEAD_FLOOR = 0.75
 
 
 def best_of(fn, *args, reps: int) -> float:
@@ -234,6 +250,70 @@ def measure_service_throughput(*, quick: bool) -> dict:
     return out
 
 
+def measure_pool_concurrency(*, quick: bool) -> dict:
+    """4 independent fingerprint groups: 4-worker thread pool vs serial.
+
+    One request per preconditioner (distinct factor fingerprints, so the
+    groups share no locks and the pool overlaps them fully).  Both paths
+    run on the same warm session; the pooled answers must be
+    bit-identical to the serial ones.
+    """
+    reps = 1 if quick else 5
+
+    def batch():
+        return [
+            _request(job_id=f"bench-pool-{p}", precond=p, eps=PARITY_EPS,
+                     return_x=True)
+            for p in POOL_PRECONDS
+        ]
+
+    session = SolverSession(warm_kernels=False)
+    serial_ref = session.solve_batch(batch())  # warm all four factor groups
+    if not all(r.ok and r.converged for r in serial_ref):
+        raise RuntimeError("pool bench serial solves failed")
+
+    pool = WorkerPool(session, workers=POOL_WORKERS, mode="thread")
+    try:
+        pooled_ref = pool.solve_batch(batch())
+        for ser, par in zip(serial_ref, pooled_ref):
+            if ser.x_sha256 != par.x_sha256:
+                raise RuntimeError(
+                    f"pooled solve diverged from serial for {ser.job_id}: "
+                    f"{ser.x_sha256} != {par.x_sha256}"
+                )
+        serial_s = best_of(lambda: session.solve_batch(batch()), reps=reps)
+        pooled_s = best_of(lambda: pool.solve_batch(batch()), reps=reps)
+        pool_stats = pool.stats()
+    finally:
+        pool.close()
+
+    cores = os.cpu_count() or 1
+    out = {
+        "n_groups": len(POOL_PRECONDS),
+        "preconds": list(POOL_PRECONDS),
+        "workers": POOL_WORKERS,
+        "mode": "thread",
+        "cores": cores,
+        "serial_s": serial_s,
+        "pooled_s": pooled_s,
+        "pooled_speedup": serial_s / pooled_s,
+        "bit_identical": True,
+        "gate": {
+            "min_cores_for_speedup": POOL_MIN_CORES,
+            "speedup_floor": (POOL_SPEEDUP_GATE if cores >= POOL_MIN_CORES
+                              else POOL_OVERHEAD_FLOOR),
+        },
+        "pool_stats": pool_stats,
+    }
+    print(
+        f"concurrency ({len(POOL_PRECONDS)} groups, {POOL_WORKERS} workers, "
+        f"{cores} cores): serial {serial_s * 1e3:.0f} ms, "
+        f"pooled {pooled_s * 1e3:.0f} ms -> {serial_s / pooled_s:.2f}x "
+        f"(floor {out['gate']['speedup_floor']:g}x), bit-identical"
+    )
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="CI smoke mode: few reps")
@@ -249,6 +329,7 @@ def main(argv=None) -> int:
     latency = measure_latency(quick=args.quick)
     throughput = measure_block_throughput(quick=args.quick)
     service = measure_service_throughput(quick=args.quick)
+    concurrency = measure_pool_concurrency(quick=args.quick)
 
     out = {
         "meta": {
@@ -267,6 +348,7 @@ def main(argv=None) -> int:
         "latency": latency,
         "block_throughput": throughput,
         "service_throughput": service,
+        "concurrency": concurrency,
     }
     args.out.write_text(json.dumps(out, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -287,6 +369,13 @@ def main(argv=None) -> int:
             failed.append(
                 "block-vs-sequential parity "
                 f"{throughput['max_relative_error_vs_sequential']:.2e} above 1e-10"
+            )
+        pool_floor = concurrency["gate"]["speedup_floor"]
+        if concurrency["pooled_speedup"] < pool_floor:
+            failed.append(
+                f"pooled group speedup {concurrency['pooled_speedup']:.2f}x "
+                f"below {pool_floor:g}x floor "
+                f"({concurrency['cores']} cores)"
             )
         if failed:
             for f in failed:

@@ -223,46 +223,85 @@ def _cmd_solve(args) -> int:
     return rc
 
 
-def _cmd_serve(args) -> int:
-    """Long-lived solver service over stdio or a unix socket."""
-    from repro.serve import JobQueue, SolverSession, serve_socket, serve_stdio
+def _build_queue(args):
+    """Assemble session + admission + optional pool + queue from serve args.
+
+    Returns ``(queue, pool)`` — the caller owns closing the pool."""
+    from repro.serve import (
+        AdmissionController, AdmissionPolicy, JobQueue, RetentionPolicy,
+        SolverSession, WorkerPool,
+    )
 
     if args.kernel_backend:
         kernels.set_backend(args.kernel_backend)
     session = SolverSession(capacity=args.capacity)
-    queue = JobQueue(session, journal_dir=args.journal_dir)
-    with _maybe_observe(args.trace) as sess:
-        if args.resume:
-            recovered = queue.resume()
-            print(f"resumed {len(recovered)} journaled job(s)", file=sys.stderr)
-        if args.socket:
-            print(f"serving on {args.socket}", file=sys.stderr)
-            answered = serve_socket(queue, args.socket)
-        else:
-            answered = serve_stdio(queue)
-        print(f"served {answered} job(s)", file=sys.stderr)
-        if sess is not None:
-            print(obs.requests_table(sess.tracer), file=sys.stderr)
+    admission = AdmissionController(AdmissionPolicy(
+        max_queue_depth=args.max_queue_depth,
+        max_payload_bytes=args.max_payload_bytes,
+        default_deadline_s=args.default_deadline,
+    ))
+    pool = None
+    if args.workers > 0:
+        pool = WorkerPool(
+            session, workers=args.workers, mode=args.worker_mode,
+            admission=admission,
+        )
+    retention = RetentionPolicy(
+        keep_last=args.retention_keep, max_bytes=args.retention_max_bytes
+    )
+    queue = JobQueue(
+        session, journal_dir=args.journal_dir,
+        pool=pool, admission=admission, retention=retention,
+    )
+    return queue, pool
+
+
+def _cmd_serve(args) -> int:
+    """Long-lived solver service over stdio or a unix socket."""
+    from repro.serve import serve_socket, serve_stdio
+
+    queue, pool = _build_queue(args)
+    try:
+        with _maybe_observe(args.trace) as sess:
+            if args.resume:
+                recovered = queue.resume()
+                print(f"resumed {len(recovered)} journaled job(s)", file=sys.stderr)
+            if args.socket:
+                print(f"serving on {args.socket}", file=sys.stderr)
+                answered = serve_socket(
+                    queue, args.socket,
+                    max_connections=args.max_connections,
+                    write_timeout_s=args.write_timeout,
+                )
+            else:
+                answered = serve_stdio(queue)
+            print(f"served {answered} job(s)", file=sys.stderr)
+            if sess is not None:
+                print(obs.requests_table(sess.tracer), file=sys.stderr)
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
 def _cmd_batch(args) -> int:
     """One-shot mode: solve a JSONL request file as a single batch."""
-    from repro.serve import JobQueue, SolverSession, run_batch
+    from repro.serve import run_batch
 
-    if args.kernel_backend:
-        kernels.set_backend(args.kernel_backend)
-    session = SolverSession(capacity=args.capacity)
-    queue = JobQueue(session, journal_dir=args.journal_dir)
-    with _maybe_observe(args.trace) as sess:
-        if args.resume:
-            queue.resume()
-        jobs = run_batch(queue, args.requests, args.out)
-        if args.out is None:
-            for job in jobs:
-                print(job.response.to_json_line())
-        if sess is not None:
-            print(obs.requests_table(sess.tracer), file=sys.stderr)
+    queue, pool = _build_queue(args)
+    try:
+        with _maybe_observe(args.trace) as sess:
+            if args.resume:
+                queue.resume()
+            jobs = run_batch(queue, args.requests, args.out)
+            if args.out is None:
+                for job in jobs:
+                    print(job.response.to_json_line())
+            if sess is not None:
+                print(obs.requests_table(sess.tracer), file=sys.stderr)
+    finally:
+        if pool is not None:
+            pool.close()
     if args.out is not None:
         print(f"responses written to {args.out}", file=sys.stderr)
     return 0 if all(j.state == "done" for j in jobs) else 1
@@ -389,6 +428,41 @@ def main(argv: list[str] | None = None) -> int:
             help="export an observability trace of the serving run "
             "(view per-request with: repro trace --requests PATH)",
         )
+        p.add_argument(
+            "--workers", type=int, default=0, metavar="N",
+            help="dispatch independent solve groups to N concurrent "
+            "workers (default 0 = serial in-process solving)",
+        )
+        p.add_argument(
+            "--worker-mode", default="thread", choices=["thread", "process"],
+            help="worker flavor: threads (shared caches) or forked "
+            "processes (crash isolation); default thread",
+        )
+        p.add_argument(
+            "--max-queue-depth", type=int, default=256, metavar="N",
+            help="admission bound on pending+running jobs; a full queue "
+            "answers a structured 'overloaded' rejection (default 256)",
+        )
+        p.add_argument(
+            "--max-payload-bytes", type=int, default=32 << 20, metavar="B",
+            help="admission bound on one request's explicit RHS payload "
+            "(default 32 MiB)",
+        )
+        p.add_argument(
+            "--default-deadline", type=float, default=None, metavar="S",
+            help="deadline in seconds applied to requests that name none "
+            "(default: no implicit deadline)",
+        )
+        p.add_argument(
+            "--retention-keep", type=int, default=None, metavar="N",
+            help="compact the journal down to the N most recent finished "
+            "jobs after each batch (default: keep everything)",
+        )
+        p.add_argument(
+            "--retention-max-bytes", type=int, default=None, metavar="B",
+            help="compact oldest finished journal pairs once the journal "
+            "directory exceeds B bytes (default: unbounded)",
+        )
 
     p_serve = sub.add_parser(
         "serve",
@@ -398,6 +472,16 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--socket", default=None, metavar="PATH",
         help="listen on a unix domain socket instead of stdio",
+    )
+    p_serve.add_argument(
+        "--max-connections", type=int, default=32, metavar="N",
+        help="concurrent socket connections; excess connects get a "
+        "structured 'overloaded' line (default 32)",
+    )
+    p_serve.add_argument(
+        "--write-timeout", type=float, default=15.0, metavar="S",
+        help="per-write timeout; a client that stops draining its socket "
+        "is disconnected, never wedges a handler (default 15s)",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

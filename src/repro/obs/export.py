@@ -306,8 +306,11 @@ def requests_table(source) -> str:
     JSONL records (see :func:`load_jsonl_records`).  Shows, per job, the
     operator fingerprint, which cache tier answered (structure hit/miss,
     factor hit / refactor / numeric / build), the setup-counter deltas
-    the job caused, coalescing width, iterations and wall time — the
-    at-a-glance answer to "why was this request slow".
+    the job caused, coalescing width, iterations, wall time, and — for
+    requests the serving layer refused or quarantined — the failure
+    reason (``overloaded``, ``request_timeout``, ``worker_crash``,
+    ``poisoned_payload``) — the at-a-glance answer to "why was this
+    request slow (or refused)".
     """
     if isinstance(source, Tracer):
         recs = [
@@ -324,11 +327,17 @@ def requests_table(source) -> str:
         return "(no serve.job spans in trace)"
     recs.sort(key=lambda r: (r.get("t_start_s") or 0.0, r["attrs"].get("job_id", "")))
     header = ("job", "fingerprint", "model", "precond", "cache", "setups",
-              "coal", "iters", "conv", "wall ms")
+              "coal", "iters", "conv", "wall ms", "reason")
     rows = [header]
     for r in recs:
         at = r.get("attrs", {})
         dur = r.get("duration_s") or 0.0
+        if at.get("rejected"):
+            rows.append((
+                str(at.get("job_id", "?")), "", "", "", "", "", "", "",
+                "n", "", str(at.get("reason", "?")),
+            ))
+            continue
         rows.append((
             str(at.get("job_id", "?")),
             str(at.get("fingerprint", ""))[:12],
@@ -340,6 +349,7 @@ def requests_table(source) -> str:
             str(at.get("iterations", "?")),
             "y" if at.get("converged") else "n",
             f"{1e3 * dur:.1f}",
+            str(at.get("reason", "") or ""),
         ))
     widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
     return "\n".join(

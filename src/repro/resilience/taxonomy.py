@@ -75,6 +75,27 @@ class FailureReason(Enum):
     TIME_BUDGET = "time_budget"
     """Wall-clock budget for the solve was exhausted."""
 
+    OVERLOADED = "overloaded"
+    """The serving layer refused the request at admission: the bounded
+    job queue was full (back-pressure, not a solver fault).  The client
+    should retry later, ideally with jitter."""
+
+    REQUEST_TIMEOUT = "request_timeout"
+    """A serving request missed its deadline — either it expired while
+    queued behind other work, or the worker solving it wedged past the
+    deadline and was abandoned/killed.  The solve never produced an
+    answer; retrying with a fresh deadline is safe."""
+
+    WORKER_CRASH = "worker_crash"
+    """A pool worker died (or raised outside the solver's own error
+    handling) while holding the request.  The pool respawned the worker
+    and quarantined the request; other in-flight groups were unaffected."""
+
+    POISONED_PAYLOAD = "poisoned_payload"
+    """The request payload itself was rejected before any solver code
+    ran: non-finite right-hand side, mismatched shape, or a payload over
+    the admission size budget."""
+
     @property
     def is_failure(self) -> bool:
         """False only for ``CONVERGED``/``SUCCESS``."""

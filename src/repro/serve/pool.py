@@ -1,0 +1,533 @@
+"""Worker pool for the solver service: concurrent fingerprint groups,
+deadlines, fault isolation, and worker replacement.
+
+The coalescing batch pipeline (:class:`~repro.serve.session.SolverSession`)
+already partitions a batch into *independent* groups — distinct operator
+fingerprint / preconditioner / stopping criteria.  This module dispatches
+those groups to concurrent workers instead of a serial loop, which is the
+whole concurrency story: parallelism across groups, never inside one, so
+pooled answers stay bit-identical to a serial run (each group still runs
+the exact serial solve path, on a snapshot of the operator values).
+
+Two worker modes share one dispatch contract:
+
+- ``"thread"`` (default) — worker threads inside the serving process.
+  Groups solve under the session's keyed locks with ``snapshot=True``.
+  Python threads cannot be killed, so a worker that wedges past a
+  request deadline is **abandoned**: its task is settled as
+  ``REQUEST_TIMEOUT``, the worker lands in a retired set (it discards
+  its stale result and exits whenever it wakes), and a replacement
+  thread is spawned so capacity never decays.
+- ``"process"`` — forked worker processes, each with its own lazy
+  :class:`~repro.serve.session.SolverSession`.  Dispatch runs under the
+  transport retry engine of PR 7
+  (:func:`~repro.parallel.transport.policy.run_with_retry`): a worker
+  that dies mid-solve surfaces as
+  :class:`~repro.resilience.taxonomy.RankFailure` → ``WORKER_CRASH`` +
+  respawn; one that wedges past the deadline surfaces as
+  :class:`~repro.resilience.taxonomy.CommTimeout` → SIGKILL + respawn +
+  ``REQUEST_TIMEOUT``.  Process mode buys genuine kill-ability and
+  crash isolation at the price of per-child setup caches.
+
+Either way a fault is *contained*: the afflicted group's jobs get
+structured terminal responses (never exceptions), a quarantine record
+lands in the admission controller, and every other in-flight group keeps
+solving.  Faults are injected for the chaos harness via the protocol's
+``chaos`` field (gated on ``REPRO_SERVE_CHAOS``), which also forces the
+carrying request into a private group so a crash can only take down its
+own job.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import stat
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.parallel.transport.policy import Incomplete, TransportPolicy, run_with_retry
+from repro.resilience.taxonomy import CommTimeout, FailureReason, RankFailure
+from repro.serve.admission import AdmissionController, QuarantineRecord, rejection_response
+from repro.serve.protocol import SolveRequest, SolveResponse
+from repro.serve.session import SolverSession
+
+__all__ = ["WorkerPool"]
+
+_WEDGE_DEFAULT_S = 30.0
+_NO_DEADLINE_PROCESS_S = 3600.0
+"""Process-mode dispatch budget when no request names a deadline — the
+transport policy needs a finite per-attempt deadline to classify a dead
+child, and an hour is "forever" at solver timescales."""
+
+
+@dataclass
+class _Task:
+    """One group dispatch: where to solve, where the answers go."""
+
+    key: tuple
+    idxs: list[int]
+    prepared: list
+    responses: list
+    scratch: list
+    args: tuple  # (fp, precond, eps, max_iter)
+    deadline: float | None  # absolute monotonic, None = unbounded
+    state: str = "pending"  # -> "done" | "timeout"
+    worker: str | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class _ProcSlot:
+    """One forked worker process + its parent-side pipe end."""
+
+    def __init__(self, ctx, wid: int) -> None:
+        self.wid = wid
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.proc = ctx.Process(
+            target=_process_worker_main, args=(child,),
+            name=f"serve-worker-{wid}", daemon=True,
+        )
+        self.proc.start()
+        child.close()
+
+
+def _close_inherited_sockets(keep: frozenset[int]) -> None:
+    """Drop every socket fd a forked worker inherited except *keep*.
+
+    A worker respawned mid-serve forks off a parent that is holding live
+    client connections (and the listening socket); if the child keeps
+    those fds open, a client never sees EOF after its handler closes the
+    connection — it hangs until its own timeout.  Only sockets are
+    closed (the dispatch pipe is a socketpair and is in *keep*); plain
+    pipes like multiprocessing's resource tracker are left alone."""
+    try:
+        fds = [int(f) for f in os.listdir("/proc/self/fd")]
+    except OSError:  # no /proc (non-Linux): nothing portable to do
+        return
+    for fd in fds:
+        if fd <= 2 or fd in keep:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+def _process_worker_main(conn) -> None:
+    """Child loop: receive a group's requests, solve, send responses.
+
+    The session is built lazily on first work (the fork already carries
+    warmed kernels).  Chaos is enacted here so the *parent* observes a
+    genuine child death / silence, exercising the same classification
+    path a real fault would take."""
+    _close_inherited_sockets(frozenset({conn.fileno()}))
+    session: SolverSession | None = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        reqs: list[SolveRequest] = msg
+        for r in reqs:
+            if r.chaos is not None:
+                if r.chaos["kind"] == "crash":
+                    os._exit(19)
+                time.sleep(float(r.chaos.get("seconds", _WEDGE_DEFAULT_S)))
+        if session is None:
+            session = SolverSession(warm_kernels=False)
+        try:
+            out = session.solve_batch(list(reqs))
+        except Exception as exc:  # keep the worker alive for the next group
+            out = [
+                SolveResponse(
+                    job_id=r.job_id or "?", ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                for r in reqs
+            ]
+        for resp in out:
+            if not resp.return_x:
+                resp.x = None  # don't ship megabytes the client didn't ask for
+        try:
+            conn.send(out)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class WorkerPool:
+    """Dispatch independent solve groups to concurrent workers.
+
+    Drop-in for ``SolverSession.solve_batch`` from the queue's point of
+    view: same request-order responses, same coalescing semantics, plus
+    deadlines and fault isolation.  ``close()`` is idempotent.
+    """
+
+    def __init__(
+        self,
+        session: SolverSession,
+        workers: int = 2,
+        mode: str = "thread",
+        admission: AdmissionController | None = None,
+        solve_timeout_s: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"pool needs >= 1 worker, got {workers}")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if solve_timeout_s is not None and solve_timeout_s <= 0:
+            raise ValueError(f"solve_timeout_s must be positive, got {solve_timeout_s}")
+        self.session = session
+        self.workers = int(workers)
+        self.mode = mode
+        self.admission = admission
+        self.solve_timeout_s = solve_timeout_s
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stats = {
+            "dispatched": 0, "completed": 0, "timeouts": 0,
+            "crashes": 0, "replaced_workers": 0,
+        }
+        self._per_worker: dict[str, int] = {}
+        if mode == "thread":
+            self._tasks: _queue.Queue = _queue.Queue()
+            self._retired: set[str] = set()
+            self._threads: dict[str, threading.Thread] = {}
+            self._spawn_seq = 0
+            for _ in range(self.workers):
+                self._spawn_thread_worker()
+        else:
+            import multiprocessing as mp
+
+            self._ctx = mp.get_context("fork")
+            self._free: _queue.Queue = _queue.Queue()
+            self._slots: dict[int, _ProcSlot] = {}
+            for wid in range(self.workers):
+                self._slots[wid] = _ProcSlot(self._ctx, wid)
+                self._free.put(wid)
+        obs.metric_set("serve.pool.workers", self.workers, mode=mode)
+
+    # -- public API --------------------------------------------------------
+
+    def solve_batch(self, requests: list[SolveRequest]) -> list[SolveResponse]:
+        """Solve a batch with groups fanned out across the pool."""
+        prepared, responses = self.session.prepare_batch(requests)
+        groups = self.session.group_batch(prepared)
+        now = time.monotonic()
+        tasks: list[_Task] = []
+        for key, idxs in groups.items():
+            deadline = None
+            for i in idxs:
+                rem = prepared[i]["req"].remaining_s(now)
+                if rem is not None:
+                    d = now + rem
+                    deadline = d if deadline is None else min(deadline, d)
+            if deadline is None and self.solve_timeout_s is not None:
+                deadline = now + self.solve_timeout_s
+            tasks.append(_Task(
+                key=key, idxs=idxs, prepared=prepared, responses=responses,
+                scratch=[None] * len(responses), args=key[:4], deadline=deadline,
+            ))
+        with self._lock:
+            self._stats["dispatched"] += len(tasks)
+        if self.mode == "thread":
+            for task in tasks:
+                self._tasks.put(task)
+            for task in tasks:
+                self._await_thread_task(task)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._dispatch_process_group, args=(task,), daemon=True
+                )
+                for task in tasks
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        self.session.count_served(responses)
+        return [r for r in responses if r is not None]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            out: dict[str, Any] = dict(self._stats)
+            out["per_worker"] = dict(self._per_worker)
+        out["mode"] = self.mode
+        out["workers"] = self.workers
+        return out
+
+    def close(self) -> None:
+        """Stop workers; idempotent, safe to call with work long done."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.mode == "thread":
+            with self._lock:
+                live = [
+                    name for name, t in self._threads.items()
+                    if t.is_alive() and name not in self._retired
+                ]
+            for _ in live:
+                self._tasks.put(None)
+            for name in live:
+                self._threads[name].join(timeout=2.0)
+        else:
+            for slot in self._slots.values():
+                try:
+                    slot.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for slot in self._slots.values():
+                slot.proc.join(timeout=2.0)
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                    slot.proc.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared accounting -------------------------------------------------
+
+    def _quarantine(self, job_id: str, reason: FailureReason, detail: str) -> None:
+        if self.admission is not None:
+            self.admission.quarantine(
+                QuarantineRecord(job_id=job_id, reason=reason.value, detail=detail)
+            )
+
+    def _fail_task(
+        self, task: _Task, reason: FailureReason, detail: str
+    ) -> None:
+        """Settle every job of a faulted group with a structured answer.
+
+        Caller must hold ``task.lock`` and have checked state is pending.
+        """
+        for i in task.idxs:
+            job_id = task.prepared[i]["job_id"]
+            task.responses[i] = rejection_response(job_id, reason, detail)
+            self._quarantine(job_id, reason, detail)
+
+    def _tally(self, worker: str) -> None:
+        with self._lock:
+            self._stats["completed"] += 1
+            self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
+        obs.metric_inc("serve.pool.groups", worker=worker)
+
+    # -- thread mode -------------------------------------------------------
+
+    def _spawn_thread_worker(self) -> str:
+        with self._lock:
+            self._spawn_seq += 1
+            name = f"w{self._spawn_seq}"
+        t = threading.Thread(
+            target=self._thread_worker_main, args=(name,),
+            name=f"serve-pool-{name}", daemon=True,
+        )
+        self._threads[name] = t
+        t.start()
+        return name
+
+    def _thread_worker_main(self, name: str) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            with task.lock:
+                if task.state != "pending":
+                    continue  # expired while queued; dispatcher answered
+                task.worker = name
+            chaos = task.prepared[task.idxs[0]]["req"].chaos
+            if chaos is not None and chaos["kind"] == "crash":
+                with task.lock:
+                    if task.state == "pending":
+                        detail = "chaos: worker crashed holding the request"
+                        self._fail_task(task, FailureReason.WORKER_CRASH, detail)
+                        task.state = "done"
+                        task.done.set()
+                self._note_crash_and_replace(name)
+                return  # the "crashed" thread really does die
+            if chaos is not None and chaos["kind"] == "wedge":
+                time.sleep(float(chaos.get("seconds", _WEDGE_DEFAULT_S)))
+            with task.lock:
+                if task.state != "pending":
+                    # Wedged past the deadline: dispatcher already answered
+                    # REQUEST_TIMEOUT and retired us.
+                    if self._is_retired(name):
+                        return
+                    continue
+            try:
+                fp, precond, eps, max_iter = task.args
+                self.session._solve_group(
+                    fp, precond, eps, max_iter, task.idxs,
+                    task.prepared, task.scratch, snapshot=True,
+                )
+            except Exception as exc:  # _solve_group shields; belt-and-braces
+                with task.lock:
+                    if task.state == "pending":
+                        self._fail_task(
+                            task, FailureReason.WORKER_CRASH,
+                            f"worker raised: {type(exc).__name__}: {exc}",
+                        )
+                        task.state = "done"
+                        task.done.set()
+                self._note_crash_and_replace(name)
+                return
+            with task.lock:
+                if task.state == "pending":
+                    for i in task.idxs:
+                        task.responses[i] = task.scratch[i]
+                    task.state = "done"
+                    task.done.set()
+                    self._tally(name)
+            if self._is_retired(name):
+                return  # late finish of an abandoned worker
+
+    def _is_retired(self, name: str) -> bool:
+        with self._lock:
+            return name in self._retired
+
+    def _note_crash_and_replace(self, name: str) -> None:
+        with self._lock:
+            self._stats["crashes"] += 1
+            self._stats["replaced_workers"] += 1
+            self._threads.pop(name, None)
+            closed = self._closed
+        obs.metric_inc("serve.pool.crashes")
+        if not closed:
+            self._spawn_thread_worker()
+
+    def _await_thread_task(self, task: _Task) -> None:
+        timeout = None
+        if task.deadline is not None:
+            timeout = max(0.0, task.deadline - time.monotonic())
+        if task.done.wait(timeout):
+            return
+        abandoned: str | None = None
+        with task.lock:
+            if task.state != "pending":
+                return  # finished in the race window
+            task.state = "timeout"
+            abandoned = task.worker
+            where = (
+                "mid-solve (worker abandoned)" if abandoned
+                else "in the pool queue"
+            )
+            self._fail_task(
+                task, FailureReason.REQUEST_TIMEOUT,
+                f"deadline expired {where}",
+            )
+            task.done.set()
+        with self._lock:
+            self._stats["timeouts"] += 1
+        obs.metric_inc("serve.pool.timeouts")
+        if abandoned is not None:
+            with self._lock:
+                self._retired.add(abandoned)
+                self._stats["replaced_workers"] += 1
+                closed = self._closed
+            obs.metric_inc("serve.pool.replaced")
+            if not closed:
+                self._spawn_thread_worker()
+
+    # -- process mode ------------------------------------------------------
+
+    def _dispatch_process_group(self, task: _Task) -> None:
+        wid = self._free.get()
+        try:
+            slot = self._slots[wid]
+            sub = [task.prepared[i]["req"] for i in task.idxs]
+            deadline_s = _NO_DEADLINE_PROCESS_S
+            if task.deadline is not None:
+                deadline_s = max(1e-3, task.deadline - time.monotonic())
+            try:
+                slot.conn.send(sub)
+            except (BrokenPipeError, OSError):
+                self._process_crash(task, wid, "worker pipe already dead at dispatch")
+                return
+            policy = TransportPolicy(
+                deadline=deadline_s, max_retries=0, backoff=0.0
+            )
+
+            def attempt(d: float, _a: int):
+                if slot.conn.poll(d):
+                    return slot.conn.recv()
+                raise Incomplete([wid])
+
+            try:
+                out = run_with_retry(
+                    "serve.group", attempt,
+                    dead_ranks=lambda: [wid] if not slot.proc.is_alive() else [],
+                    policy=policy,
+                )
+            except RankFailure:
+                self._process_crash(
+                    task, wid,
+                    f"worker process died mid-solve (exit {slot.proc.exitcode})",
+                )
+                return
+            except CommTimeout:
+                slot.proc.kill()  # wedged past deadline: kill, then respawn
+                slot.proc.join(timeout=2.0)
+                with task.lock:
+                    if task.state == "pending":
+                        task.state = "timeout"
+                        self._fail_task(
+                            task, FailureReason.REQUEST_TIMEOUT,
+                            "deadline expired mid-solve (worker killed)",
+                        )
+                        task.done.set()
+                with self._lock:
+                    self._stats["timeouts"] += 1
+                obs.metric_inc("serve.pool.timeouts")
+                self._respawn(wid)
+                return
+            except (EOFError, OSError):
+                self._process_crash(task, wid, "worker pipe broke mid-solve")
+                return
+            with task.lock:
+                if task.state == "pending":
+                    for j, i in enumerate(task.idxs):
+                        task.responses[i] = out[j]
+                    task.state = "done"
+                    task.done.set()
+            self._tally(f"p{wid}")
+        finally:
+            self._free.put(wid)
+
+    def _process_crash(self, task: _Task, wid: int, detail: str) -> None:
+        with task.lock:
+            if task.state == "pending":
+                self._fail_task(task, FailureReason.WORKER_CRASH, detail)
+                task.state = "done"
+                task.done.set()
+        with self._lock:
+            self._stats["crashes"] += 1
+        obs.metric_inc("serve.pool.crashes")
+        self._respawn(wid)
+
+    def _respawn(self, wid: int) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._stats["replaced_workers"] += 1
+        old = self._slots[wid]
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        if old.proc.is_alive():
+            old.proc.kill()
+            old.proc.join(timeout=2.0)
+        self._slots[wid] = _ProcSlot(self._ctx, wid)
+        obs.metric_inc("serve.pool.replaced")

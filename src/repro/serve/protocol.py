@@ -12,26 +12,54 @@ bench default block model)::
     {"id": "job-1", "model": "block", "scale": 0.5, "penalty": 1e6,
      "precond": "sbbic0", "eps": 1e-8, "max_iter": 20000,
      "rhs": "model" | {"seed": 7} | [..ndof floats..],
-     "return_x": false}
+     "return_x": false,
+     "priority": 0, "deadline_s": 30.0}
 
 ``rhs: "model"`` uses the assembled load vector; ``{"seed": k}`` a
 deterministic standard-normal vector (deduplicated across a coalesced
-batch); an explicit list is used verbatim.
+batch); an explicit list is used verbatim.  An explicit list with any
+non-finite entry is rejected here, at the protocol boundary, so a
+poisoned payload never reaches the solver.
+
+``priority`` (higher solves first under load) and ``deadline_s`` (a
+wall-clock budget counted from admission; an expired request gets a
+structured ``REQUEST_TIMEOUT`` answer instead of an answer) feed the
+admission controller and worker pool (:mod:`repro.serve.admission`,
+:mod:`repro.serve.pool`).
+
+A ``chaos`` field ({"kind": "crash"|"wedge", "seconds": s}) is accepted
+**only** when the ``REPRO_SERVE_CHAOS`` environment variable is set; it
+makes the worker holding the request die or wedge, and exists solely for
+the fault-injection harness (``scripts/chaos_serve.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.utils.validate import check_finite_array
+
 _JOB_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,80}$")
 
 MODELS = ("block", "swjapan")
 PRECONDS = ("diag", "ic0", "bic0", "bic1", "bic2", "sbbic0")
+
+CHAOS_ENV = "REPRO_SERVE_CHAOS"
+"""Environment variable gating the ``chaos`` request field (fault
+injection for the chaos harness).  Unset = chaos requests are rejected
+as unknown fields, so production servers cannot be wedged by a client."""
+
+CHAOS_KINDS = ("crash", "wedge")
+
+MAX_PRIORITY = 100
+"""Priorities are clamped to ``[-MAX_PRIORITY, MAX_PRIORITY]`` at the
+protocol boundary so a client cannot starve others with 2**63."""
 
 
 class ProtocolError(ValueError):
@@ -51,6 +79,12 @@ class SolveRequest:
     max_iter: int | None = None
     rhs: Any = "model"
     return_x: bool = False
+    priority: int = 0
+    deadline_s: float | None = None
+    chaos: dict | None = None
+    submitted_at: float | None = None
+    """Monotonic-clock admission timestamp, set by the queue; transient
+    (never serialized) — deadlines count from here."""
 
     def __post_init__(self) -> None:
         if self.job_id is not None:
@@ -79,6 +113,19 @@ class SolveRequest:
             self.max_iter = int(self.max_iter)
             if self.max_iter <= 0:
                 raise ProtocolError(f"max_iter must be positive, got {self.max_iter}")
+        self.priority = int(self.priority)
+        if abs(self.priority) > MAX_PRIORITY:
+            raise ProtocolError(
+                f"priority must be in [-{MAX_PRIORITY}, {MAX_PRIORITY}], "
+                f"got {self.priority}"
+            )
+        if self.deadline_s is not None:
+            self.deadline_s = float(self.deadline_s)
+            if not np.isfinite(self.deadline_s) or self.deadline_s <= 0:
+                raise ProtocolError(
+                    f"deadline_s must be a positive finite number, got {self.deadline_s}"
+                )
+        self.chaos = _check_chaos(self.chaos)
         self.rhs = _check_rhs(self.rhs)
 
     # -- wire / journal codecs -------------------------------------------
@@ -87,10 +134,13 @@ class SolveRequest:
     def from_dict(cls, d: dict[str, Any]) -> SolveRequest:
         if not isinstance(d, dict):
             raise ProtocolError(f"request must be a JSON object, got {type(d).__name__}")
-        unknown = set(d) - {
+        known = {
             "id", "model", "scale", "penalty", "precond", "eps",
-            "max_iter", "rhs", "return_x",
+            "max_iter", "rhs", "return_x", "priority", "deadline_s",
         }
+        if os.environ.get(CHAOS_ENV):
+            known.add("chaos")
+        unknown = set(d) - known
         if unknown:
             raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
         try:
@@ -104,6 +154,9 @@ class SolveRequest:
                 max_iter=d.get("max_iter"),
                 rhs=d.get("rhs", "model"),
                 return_x=bool(d.get("return_x", False)),
+                priority=d.get("priority", 0),
+                deadline_s=d.get("deadline_s"),
+                chaos=d.get("chaos"),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):
@@ -131,6 +184,12 @@ class SolveRequest:
             d["id"] = self.job_id
         if self.max_iter is not None:
             d["max_iter"] = self.max_iter
+        if self.priority != 0:
+            d["priority"] = self.priority
+        if self.deadline_s is not None:
+            d["deadline_s"] = self.deadline_s
+        if self.chaos is not None:
+            d["chaos"] = dict(self.chaos)
         if isinstance(self.rhs, np.ndarray):
             d["rhs"] = self.rhs.tolist()
         else:
@@ -140,8 +199,21 @@ class SolveRequest:
     def solve_key(self) -> tuple:
         """Requests with equal keys may legally coalesce into one
         block solve (same operator, same preconditioner, same stopping
-        criteria)."""
-        return (self.model, self.scale, self.penalty, self.precond, self.eps, self.max_iter)
+        criteria).  A chaos-carrying request never coalesces — the
+        injected fault must take down only its own group."""
+        key: tuple = (self.model, self.scale, self.penalty, self.precond, self.eps, self.max_iter)
+        if self.chaos is not None:
+            key += (("chaos", self.job_id),)
+        return key
+
+    def remaining_s(self, now: float) -> float | None:
+        """Seconds of deadline budget left at monotonic time *now*
+        (None = no deadline).  Counted from admission; a request that was
+        never admitted has its full budget."""
+        if self.deadline_s is None:
+            return None
+        start = self.submitted_at if self.submitted_at is not None else now
+        return self.deadline_s - (now - start)
 
 
 def _check_rhs(rhs: Any) -> Any:
@@ -153,14 +225,38 @@ def _check_rhs(rhs: Any) -> Any:
         if set(rhs) != {"seed"}:
             raise ProtocolError(f"rhs object must be {{'seed': int}}, got {rhs!r}")
         return {"seed": int(rhs["seed"])}
-    if isinstance(rhs, np.ndarray):
-        return np.asarray(rhs, dtype=np.float64)
-    if isinstance(rhs, (list, tuple)):
-        arr = np.asarray(rhs, dtype=np.float64)
+    if isinstance(rhs, (np.ndarray, list, tuple)):
+        try:
+            arr = np.asarray(rhs, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"explicit rhs is not numeric: {exc}") from exc
         if arr.ndim != 1:
             raise ProtocolError(f"explicit rhs must be a flat list, got shape {arr.shape}")
+        try:
+            check_finite_array(arr, "explicit rhs")
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
         return arr
     raise ProtocolError(f"unsupported rhs spec: {rhs!r}")
+
+
+def _check_chaos(chaos: Any) -> dict | None:
+    if chaos is None:
+        return None
+    if not isinstance(chaos, dict) or chaos.get("kind") not in CHAOS_KINDS:
+        raise ProtocolError(
+            f"chaos must be {{'kind': one of {CHAOS_KINDS}, 'seconds': s}}, "
+            f"got {chaos!r}"
+        )
+    out = {"kind": str(chaos["kind"])}
+    unknown = set(chaos) - {"kind", "seconds"}
+    if unknown:
+        raise ProtocolError(f"unknown chaos fields: {sorted(unknown)}")
+    if "seconds" in chaos:
+        out["seconds"] = float(chaos["seconds"])
+        if out["seconds"] < 0:
+            raise ProtocolError("chaos seconds must be >= 0")
+    return out
 
 
 @dataclass
@@ -185,6 +281,11 @@ class SolveResponse:
     return_x: bool = False
     resumed: bool = False
     error: str | None = None
+    reason: str | None = None
+    """Serving-layer failure classification (a
+    :class:`~repro.resilience.taxonomy.FailureReason` value string, e.g.
+    ``"overloaded"``, ``"request_timeout"``, ``"worker_crash"``,
+    ``"poisoned_payload"``); None for solver-level outcomes."""
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -206,6 +307,8 @@ class SolveResponse:
             d["x"] = np.asarray(self.x).tolist()
         if self.error is not None:
             d["error"] = self.error
+        if self.reason is not None:
+            d["reason"] = self.reason
         return d
 
     def to_json_line(self) -> str:

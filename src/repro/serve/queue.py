@@ -1,14 +1,19 @@
-"""Coalescing job queue with durable journaling and crash recovery.
+"""Coalescing job queue with durable journaling, admission control, and
+crash recovery.
 
 Life of a job:
 
-1. ``submit`` — assign an id; if a completed result journal for that id
-   already exists, short-circuit to it (idempotent retry), else mark the
-   job pending;
-2. ``process`` — journal every pending request durably (via
+1. ``submit`` — screen through the admission controller (bounded depth →
+   ``OVERLOADED``, oversized payload → ``POISONED_PAYLOAD``; a refused
+   request gets its structured terminal response immediately and is
+   never journaled); assign an id; if a completed result journal for
+   that id already exists, short-circuit to it (idempotent retry), else
+   mark the job pending;
+2. ``process`` — claim pending jobs, refuse any whose deadline expired
+   while queued (``REQUEST_TIMEOUT``), journal the rest durably (via
    :mod:`repro.io.journal`: checksummed, atomically replaced), **then**
-   group + coalesce + solve through the session, **then** journal each
-   result;
+   group + coalesce + solve — through the worker pool when one is
+   attached, else the session — **then** journal each result;
 3. ``resume`` — scan the journal directory for requests without results,
    re-submit them, process.
 
@@ -17,7 +22,21 @@ Determinism contract: requests are journaled *before* any solving, and
 by solve key in first-appearance order.  A replay after a crash therefore
 reassembles exactly the coalesced solves of the original run — same
 groups, same RHS column order — so resumed answers are bit-for-bit what
-the uninterrupted server would have returned.
+the uninterrupted server would have returned.  A worker pool preserves
+this: concurrency is across groups, never inside one.
+
+Concurrency: ``submit``/``process`` are thread-safe (the socket front end
+runs one thread per connection).  Without a pool, concurrent ``process``
+calls serialize on an internal lock — the session's serial path mutates
+shared operator values in place and must stay single-consumer; with a
+pool, they overlap freely (the pool snapshots per-group values).
+
+Journal retention (:class:`RetentionPolicy`): unbounded request/result
+journals are how a long-lived server fills a disk.  After each
+``process``, finished req+res pairs beyond ``keep_last`` (or over
+``max_bytes`` total) are deleted oldest-first; compaction counters ride
+in ``stats()``.  A compacted job loses its idempotent-retry
+short-circuit — that is the documented trade.
 
 Crash injection for tests (``REPRO_SERVE_CRASH`` env var):
 ``after-journal`` hard-exits once the pending requests are journaled but
@@ -30,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -37,10 +57,11 @@ from typing import Any
 import numpy as np
 
 from repro.io.journal import read_journal, write_journal
+from repro.serve.admission import AdmissionController
 from repro.serve.protocol import ProtocolError, SolveRequest, SolveResponse
 from repro.serve.session import SolverSession
 
-__all__ = ["Job", "JobQueue"]
+__all__ = ["Job", "JobQueue", "RetentionPolicy"]
 
 _REQ_SUFFIX = ".req.jnl"
 _RES_SUFFIX = ".res.jnl"
@@ -53,11 +74,35 @@ def _crash_hook(stage: str) -> None:
         os._exit(17)
 
 
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Journal compaction knobs; None disables that bound.
+
+    ``keep_last`` keeps at most that many *finished* jobs' journal pairs;
+    ``max_bytes`` additionally deletes oldest finished pairs until the
+    journal directory fits the byte budget.  In-flight jobs (request
+    journal without a result) are never compacted — they are exactly what
+    ``resume`` exists to recover."""
+
+    keep_last: int | None = None
+    max_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.keep_last is not None and self.keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {self.keep_last}")
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {self.max_bytes}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.keep_last is not None or self.max_bytes is not None
+
+
 @dataclass
 class Job:
     job_id: str
     request: SolveRequest
-    state: str = "pending"  # pending | done | failed
+    state: str = "pending"  # pending | running | done | failed | rejected
     response: SolveResponse | None = None
     journaled: bool = False
 
@@ -86,21 +131,32 @@ def _request_from_journal(arrays: dict[str, np.ndarray], meta: dict) -> SolveReq
 
 
 class JobQueue:
-    """Single-consumer queue in front of a :class:`SolverSession`.
+    """Thread-safe queue in front of a :class:`SolverSession` or
+    :class:`~repro.serve.pool.WorkerPool`.
 
     ``journal_dir=None`` disables durability (pure in-memory serving);
-    with a directory, every accepted job is journaled before it runs and
+    with a directory, every admitted job is journaled before it runs and
     every finished job's answer is journaled after.
     """
 
     def __init__(self, session: SolverSession | None = None,
-                 journal_dir: str | Path | None = None) -> None:
+                 journal_dir: str | Path | None = None,
+                 pool=None,
+                 admission: AdmissionController | None = None,
+                 retention: RetentionPolicy | None = None) -> None:
         self.session = session if session is not None else SolverSession()
+        self.pool = pool
+        self.admission = admission
+        self.retention = retention if retention is not None else RetentionPolicy()
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         if self.journal_dir is not None:
             self.journal_dir.mkdir(parents=True, exist_ok=True)
         self._jobs: dict[str, Job] = {}
         self._counter = 0
+        self._lock = threading.RLock()
+        self._serial_process_lock = threading.Lock()
+        self._compacted_files = 0
+        self._compacted_bytes = 0
 
     # -- paths ------------------------------------------------------------
 
@@ -114,27 +170,43 @@ class JobQueue:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, request: SolveRequest) -> Job:
-        job_id = request.job_id
-        if job_id is None:
-            while True:
-                self._counter += 1
-                job_id = f"job-{self._counter:06d}"
-                if job_id not in self._jobs:
-                    break
-            request.job_id = job_id
-        elif job_id in self._jobs:
-            raise ProtocolError(f"duplicate job id {job_id!r}")
+    def depth(self) -> int:
+        """Jobs pending or running — the admission back-pressure signal."""
+        with self._lock:
+            return sum(
+                1 for j in self._jobs.values()
+                if j.state in ("pending", "running")
+            )
 
-        job = Job(job_id=job_id, request=request)
-        if self.journal_dir is not None and self._res_path(job_id).exists():
-            response = self._load_result(job_id, request)
-            if response is not None:
-                job.response = response
-                job.state = "done" if response.ok else "failed"
-                job.journaled = True
-        self._jobs[job_id] = job
-        return job
+    def submit(self, request: SolveRequest) -> Job:
+        with self._lock:
+            job_id = request.job_id
+            if job_id is None:
+                while True:
+                    self._counter += 1
+                    job_id = f"job-{self._counter:06d}"
+                    if job_id not in self._jobs:
+                        break
+                request.job_id = job_id
+            elif job_id in self._jobs:
+                raise ProtocolError(f"duplicate job id {job_id!r}")
+
+            job = Job(job_id=job_id, request=request)
+            if self.admission is not None:
+                rejection = self.admission.screen_submit(request, self.depth())
+                if rejection is not None:
+                    job.response = rejection
+                    job.state = "rejected"
+                    self._jobs[job_id] = job
+                    return job
+            if self.journal_dir is not None and self._res_path(job_id).exists():
+                response = self._load_result(job_id, request)
+                if response is not None:
+                    job.response = response
+                    job.state = "done" if response.ok else "failed"
+                    job.journaled = True
+            self._jobs[job_id] = job
+            return job
 
     def _load_result(self, job_id: str, request: SolveRequest) -> SolveResponse | None:
         """Idempotent-retry short circuit: a completed journal with a
@@ -143,7 +215,9 @@ class JobQueue:
         arrays, meta = read_journal(self._res_path(job_id))
         recorded = meta.get("request", {})
         current = _request_journal_parts(request)[1]
-        ignore = ("return_x",)  # presentation-only field
+        # return_x is presentation-only; priority/deadline_s are
+        # scheduling hints — a retry with a fresh deadline is the same job.
+        ignore = ("return_x", "priority", "deadline_s")
         if {k: v for k, v in recorded.items() if k not in ignore} != \
            {k: v for k, v in current.items() if k not in ignore}:
             raise ProtocolError(
@@ -168,37 +242,81 @@ class JobQueue:
             return_x=request.return_x,
             resumed=True,
             error=resp_meta.get("error"),
+            reason=resp_meta.get("reason"),
         )
 
     # -- processing --------------------------------------------------------
 
-    def process(self) -> list[Job]:
-        """Run every pending job; returns the jobs finished by this call."""
-        pending = sorted(
-            (j for j in self._jobs.values() if j.state == "pending"),
-            key=lambda j: j.job_id,
-        )
-        if not pending:
+    def process(self, jobs: list[Job] | None = None) -> list[Job]:
+        """Run pending jobs; returns the jobs finished by this call.
+
+        With *jobs* the call claims only those (a connection thread
+        processing its own batch); without, every pending job.  Claimed
+        jobs move ``pending`` → ``running`` atomically, so concurrent
+        callers never double-solve one."""
+        with self._lock:
+            candidates = jobs if jobs is not None else list(self._jobs.values())
+            claimed = sorted(
+                (j for j in candidates if j.state == "pending"),
+                key=lambda j: j.job_id,
+            )
+            for job in claimed:
+                job.state = "running"
+        if not claimed:
             return []
 
-        if self.journal_dir is not None:
-            for job in pending:
+        try:
+            return self._run_claimed(claimed)
+        except BaseException:
+            with self._lock:  # crash hooks bypass this via os._exit
+                for job in claimed:
+                    if job.state == "running":
+                        job.state = "pending"
+            raise
+
+    def _run_claimed(self, claimed: list[Job]) -> list[Job]:
+        # Dispatch screening: a deadline that expired while queued gets a
+        # structured refusal without burning a worker.
+        to_solve: list[Job] = []
+        for job in claimed:
+            rejection = None
+            if self.admission is not None:
+                rejection = self.admission.screen_dispatch(job.request)
+            if rejection is not None:
+                job.response = rejection
+                job.state = "rejected"
+            else:
+                to_solve.append(job)
+
+        if to_solve and self.journal_dir is not None:
+            for job in to_solve:
                 if not job.journaled:
                     arrays, meta = _request_journal_parts(job.request)
                     write_journal(self._req_path(job.job_id), arrays, meta)
                     job.journaled = True
             _crash_hook("after-journal")
 
-        responses = self.session.solve_batch([j.request for j in pending])
-        if self.journal_dir is not None:
-            _crash_hook("before-result")
-
-        for job, resp in zip(pending, responses):
-            job.response = resp
-            job.state = "done" if resp.ok else "failed"
+        if to_solve:
+            if self.pool is not None:
+                responses = self.pool.solve_batch([j.request for j in to_solve])
+            else:
+                # The serial path mutates shared operator values in
+                # place; concurrent connection threads must take turns.
+                with self._serial_process_lock:
+                    responses = self.session.solve_batch(
+                        [j.request for j in to_solve]
+                    )
             if self.journal_dir is not None:
-                self._journal_result(job)
-        return pending
+                _crash_hook("before-result")
+            for job, resp in zip(to_solve, responses):
+                job.response = resp
+                job.state = "done" if resp.ok else "failed"
+                if self.journal_dir is not None:
+                    self._journal_result(job)
+
+        if self.journal_dir is not None and self.retention.enabled:
+            self.compact()
+        return claimed
 
     def _journal_result(self, job: Job) -> None:
         resp = job.response
@@ -221,11 +339,85 @@ class JobQueue:
         }
         if resp.error is not None:
             resp_meta["error"] = resp.error
+        if resp.reason is not None:
+            resp_meta["reason"] = resp.reason
         _, req_meta = _request_journal_parts(job.request)
         write_journal(
             self._res_path(job.job_id), arrays,
             {"request": req_meta, "response": resp_meta},
         )
+
+    # -- retention ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Delete oldest finished journal pairs per the retention policy.
+
+        Returns the number of files removed; counters accumulate into
+        ``stats()["journal"]``."""
+        if self.journal_dir is None or not self.retention.enabled:
+            return 0
+        with self._lock:
+            finished: list[tuple[float, str, Path, Path]] = []
+            total_bytes = 0
+            for req_path in self.journal_dir.glob(f"*{_REQ_SUFFIX}"):
+                job_id = req_path.name[: -len(_REQ_SUFFIX)]
+                res_path = self._res_path(job_id)
+                size = req_path.stat().st_size
+                total_bytes += size
+                if res_path.exists():
+                    size += res_path.stat().st_size
+                    total_bytes += res_path.stat().st_size
+                    finished.append(
+                        (res_path.stat().st_mtime, job_id, req_path, res_path)
+                    )
+            finished.sort()  # oldest first
+
+            drop: list[tuple[float, str, Path, Path]] = []
+            if self.retention.keep_last is not None:
+                excess = len(finished) - self.retention.keep_last
+                if excess > 0:
+                    drop = finished[:excess]
+                    finished = finished[excess:]
+            if self.retention.max_bytes is not None:
+                dropped_bytes = sum(
+                    p.stat().st_size for _, _, rq, rs in drop for p in (rq, rs)
+                )
+                while finished and total_bytes - dropped_bytes > self.retention.max_bytes:
+                    entry = finished.pop(0)
+                    dropped_bytes += sum(
+                        p.stat().st_size for p in (entry[2], entry[3])
+                    )
+                    drop.append(entry)
+
+            removed = 0
+            for _, job_id, req_path, res_path in drop:
+                for p in (req_path, res_path):
+                    try:
+                        n = p.stat().st_size
+                        p.unlink()
+                        removed += 1
+                        self._compacted_files += 1
+                        self._compacted_bytes += n
+                    except OSError:
+                        pass
+            return removed
+
+    def _journal_usage(self) -> dict[str, int]:
+        files = 0
+        nbytes = 0
+        if self.journal_dir is not None:
+            for p in self.journal_dir.glob("*.jnl"):
+                try:
+                    nbytes += p.stat().st_size
+                    files += 1
+                except OSError:
+                    pass
+        return {
+            "files": files,
+            "bytes": nbytes,
+            "compacted_files": self._compacted_files,
+            "compacted_bytes": self._compacted_bytes,
+        }
 
     # -- recovery ----------------------------------------------------------
 
@@ -259,10 +451,22 @@ class JobQueue:
     # -- introspection -----------------------------------------------------
 
     def job(self, job_id: str) -> Job | None:
-        return self._jobs.get(job_id)
+        with self._lock:
+            return self._jobs.get(job_id)
 
     def stats(self) -> dict[str, Any]:
-        states: dict[str, int] = {"pending": 0, "done": 0, "failed": 0}
-        for j in self._jobs.values():
-            states[j.state] = states.get(j.state, 0) + 1
-        return {"jobs": states, "session": self.session.stats()}
+        with self._lock:
+            states: dict[str, int] = {
+                "pending": 0, "running": 0, "done": 0, "failed": 0,
+                "rejected": 0,
+            }
+            for j in self._jobs.values():
+                states[j.state] = states.get(j.state, 0) + 1
+        out: dict[str, Any] = {"jobs": states, "session": self.session.stats()}
+        if self.journal_dir is not None:
+            out["journal"] = self._journal_usage()
+        if self.admission is not None:
+            out["admission"] = self.admission.stats()
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
+        return out

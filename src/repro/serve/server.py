@@ -9,6 +9,22 @@ submission order.  A client that wants coalescing writes its requests in
 one burst and follows with a blank line; a client that wants solo solves
 flushes after every line.
 
+The socket server is **multi-connection**: one handler thread per
+client, up to ``max_connections`` (excess connects are answered with a
+structured ``overloaded`` line and closed).  Each connection flushes its
+*own* batches — ``queue.process(batch)`` claims only that connection's
+jobs, so concurrent clients never steal each other's work, and the
+worker pool (when attached to the queue) overlaps their groups.  A
+misbehaving client is contained, never fatal:
+
+- a line over ``max_line_bytes`` gets an error answer and the connection
+  is dropped (framing can no longer be trusted);
+- a client that stops draining its socket trips the per-write
+  ``write_timeout_s`` and is disconnected, with a ``slow_client``
+  quarantine record — a worker is never held hostage by a dead reader;
+- malformed JSON / protocol violations get an immediate error line and
+  the connection keeps serving.
+
 Control lines (a JSON object with a ``cmd`` key) ride the same stream:
 ``{"cmd": "stats"}`` reports queue/cache/session counters and
 ``{"cmd": "shutdown"}`` stops a socket server after acknowledging.
@@ -19,9 +35,11 @@ from __future__ import annotations
 import json
 import socket
 import sys
+import threading
 from pathlib import Path
 from typing import Any, TextIO
 
+from repro.serve.admission import QuarantineRecord
 from repro.serve.protocol import ProtocolError, SolveRequest
 from repro.serve.queue import Job, JobQueue
 
@@ -37,7 +55,7 @@ def _flush_batch(queue: JobQueue, batch: list[Job], out: TextIO) -> int:
     """Solve the accumulated batch and answer in submission order."""
     if not batch:
         return 0
-    queue.process()
+    queue.process(batch)
     for job in batch:
         if job.response is not None:
             out.write(job.response.to_json_line() + "\n")
@@ -77,7 +95,10 @@ def _handle_line(queue: JobQueue, line: str, batch: list[Job], out: TextIO,
         request = SolveRequest.from_dict(obj)
         batch.append(queue.submit(request))
     except ProtocolError as exc:
-        _emit(out, {"ok": False, "error": str(exc)})
+        payload = {"ok": False, "error": str(exc), "reason": "poisoned_payload"}
+        if isinstance(obj, dict) and isinstance(obj.get("id"), str):
+            payload["id"] = obj["id"]  # let the client match the refusal
+        _emit(out, payload)
     return "continue"
 
 
@@ -103,40 +124,183 @@ def serve_stdio(queue: JobQueue, in_stream: TextIO | None = None,
     return state["answered"]
 
 
-def serve_socket(queue: JobQueue, socket_path: str | Path) -> int:
-    """Serve one connection at a time on a unix domain socket.
+class _LineTooLong(Exception):
+    def __init__(self, nbytes: int, cap: int) -> None:
+        super().__init__(f"request line exceeds {cap} bytes (got >= {nbytes})")
+
+
+class _ConnIO:
+    """File-like shim over a socket: capped line reads, timed writes.
+
+    Reads block indefinitely (an idle client costs nothing); each
+    *write* runs under ``write_timeout_s`` so a client that stopped
+    draining its buffer cannot wedge the handler thread — ``sendall``
+    raises ``TimeoutError`` and the connection is dropped.
+    """
+
+    def __init__(self, conn: socket.socket, write_timeout_s: float,
+                 max_line_bytes: int) -> None:
+        self._conn = conn
+        self._write_timeout_s = write_timeout_s
+        self._max_line_bytes = max_line_bytes
+        self._buf = b""
+        self._eof = False
+
+    def lines(self):
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                if nl > self._max_line_bytes:
+                    # enforce the cap even when the whole line landed in
+                    # one recv — the bound is a guarantee, not best-effort
+                    raise _LineTooLong(nl, self._max_line_bytes)
+                line = self._buf[:nl]
+                self._buf = self._buf[nl + 1:]
+                yield line.decode("utf-8", errors="replace")
+                continue
+            if self._eof:
+                if self._buf:
+                    tail, self._buf = self._buf, b""
+                    yield tail.decode("utf-8", errors="replace")
+                return
+            if len(self._buf) > self._max_line_bytes:
+                raise _LineTooLong(len(self._buf), self._max_line_bytes)
+            chunk = self._conn.recv(1 << 16)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf += chunk
+
+    def write(self, text: str) -> None:
+        self._conn.settimeout(self._write_timeout_s)
+        try:
+            self._conn.sendall(text.encode("utf-8"))
+        finally:
+            self._conn.settimeout(None)
+
+    def flush(self) -> None:  # _emit/_flush_batch expect a file-like API
+        pass
+
+
+def _quarantine(queue: JobQueue, job_id: str, reason: str, detail: str) -> None:
+    if queue.admission is not None:
+        queue.admission.quarantine(
+            QuarantineRecord(job_id=job_id, reason=reason, detail=detail)
+        )
+
+
+def _serve_connection(
+    queue: JobQueue, conn: socket.socket, cid: int,
+    stop: threading.Event,
+    totals: dict[str, int], totals_lock: threading.Lock,
+    slots: threading.Semaphore,
+    write_timeout_s: float, max_line_bytes: int,
+) -> None:
+    io = _ConnIO(conn, write_timeout_s, max_line_bytes)
+    batch: list[Job] = []
+    state = {"answered": 0}
+    try:
+        for line in io.lines():
+            verdict = _handle_line(queue, line, batch, io, state)
+            if verdict == "flush":
+                state["answered"] += _flush_batch(queue, batch, io)
+            elif verdict == "shutdown":
+                stop.set()  # the accept loop polls this between accepts
+                break
+        else:
+            state["answered"] += _flush_batch(queue, batch, io)
+    except _LineTooLong as exc:
+        _quarantine(queue, f"conn-{cid}", "poisoned_payload", str(exc))
+        try:
+            _emit(io, {"ok": False, "error": str(exc), "reason": "poisoned_payload"})
+        except OSError:
+            pass
+    except (TimeoutError, socket.timeout) as exc:
+        _quarantine(
+            queue, f"conn-{cid}", "slow_client",
+            f"write timed out after {write_timeout_s:g}s: {exc}",
+        )
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # client vanished mid-request; its jobs stay journaled/solved
+    finally:
+        # Whatever happened, this connection's accepted-but-unanswered
+        # jobs still run to a terminal state (the chaos-harness promise):
+        # solve them even if the answer has nowhere to go.
+        if batch:
+            try:
+                queue.process(batch)
+                batch.clear()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+        with totals_lock:
+            totals["answered"] += state["answered"]
+        slots.release()
+
+
+def serve_socket(queue: JobQueue, socket_path: str | Path, *,
+                 max_connections: int = 32,
+                 write_timeout_s: float = 15.0,
+                 max_line_bytes: int = 8 << 20) -> int:
+    """Serve concurrent connections on a unix domain socket.
 
     Each connection is its own stream: blank line flushes a batch,
     client half-close flushes and ends the connection,
-    ``{"cmd": "shutdown"}`` stops the server.  Returns jobs answered.
+    ``{"cmd": "shutdown"}`` (from any client) stops the server after its
+    in-flight connections wind down.  Returns jobs answered.
     """
+    if max_connections < 1:
+        raise ValueError(f"max_connections must be >= 1, got {max_connections}")
     socket_path = Path(socket_path)
     socket_path.unlink(missing_ok=True)
     srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    state = {"answered": 0}
+    stop = threading.Event()
+    totals = {"answered": 0}
+    totals_lock = threading.Lock()
+    slots = threading.Semaphore(max_connections)
+    threads: list[threading.Thread] = []
+    cid = 0
     try:
         srv.bind(str(socket_path))
-        srv.listen(8)
-        while True:
-            conn, _ = srv.accept()
-            with conn:
-                # The makefile wrappers hold the fd open past conn.close();
-                # close them explicitly or the client never sees EOF.
-                with conn.makefile("r", encoding="utf-8") as rfile, \
-                     conn.makefile("w", encoding="utf-8") as wfile:
-                    batch: list[Job] = []
-                    shutdown = False
-                    for line in rfile:
-                        verdict = _handle_line(queue, line, batch, wfile, state)
-                        if verdict == "flush":
-                            state["answered"] += _flush_batch(queue, batch, wfile)
-                        elif verdict == "shutdown":
-                            shutdown = True
-                            break
-                    state["answered"] += _flush_batch(queue, batch, wfile)
-                    wfile.flush()
-            if shutdown:
-                return state["answered"]
+        srv.listen(min(128, max_connections + 8))
+        # A blocked accept() is not reliably woken by closing the socket
+        # from another thread, so poll the stop flag between short waits.
+        srv.settimeout(0.25)
+        while not stop.is_set():
+            try:
+                conn, _ = srv.accept()
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)  # accepted sockets inherit the timeout
+            cid += 1
+            if not slots.acquire(blocking=False):
+                try:
+                    conn.settimeout(write_timeout_s)
+                    conn.sendall((json.dumps({
+                        "ok": False, "reason": "overloaded",
+                        "error": f"server at its {max_connections}-connection bound",
+                    }) + "\n").encode("utf-8"))
+                except OSError:
+                    pass
+                finally:
+                    conn.close()
+                continue
+            t = threading.Thread(
+                target=_serve_connection,
+                args=(queue, conn, cid, stop, totals, totals_lock,
+                      slots, write_timeout_s, max_line_bytes),
+                name=f"serve-conn-{cid}", daemon=True,
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        return totals["answered"]
     finally:
         srv.close()
         socket_path.unlink(missing_ok=True)

@@ -33,17 +33,20 @@ replay after a crash reproduce answers bit-for-bit.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Callable
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro import kernels, obs
 from repro.fem.model import ContactStructure
 from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
 from repro.precond.icfact import record_cache_eviction, setup_counters
 from repro.resilience.checkpoint import fingerprint_arrays
+from repro.resilience.taxonomy import FailureReason
 from repro.serve.protocol import ProtocolError, SolveRequest, SolveResponse
 from repro.solvers import block_cg_solve, cg_solve
 
@@ -68,41 +71,50 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict[Any, Any] = OrderedDict()
+        # Concurrent pool workers share the workspace tiers; an RLock is
+        # enough because entries are never mutated in place under the
+        # lock, only looked up / inserted / evicted.
+        self._lock = threading.RLock()
 
     def get(self, key: Any, default: Any = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Any, value: Any) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            record_cache_eviction()
-            obs.metric_inc("serve.cache.evictions", cache=self.name)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                record_cache_eviction()
+                obs.metric_inc("serve.cache.evictions", cache=self.name)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def stats(self) -> dict[str, int]:
-        return {
-            "capacity": self.capacity,
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 def _structure_builders() -> dict[str, Callable[[float], ContactStructure]]:
@@ -228,7 +240,30 @@ class SolverSession:
     """A long-lived solving context: workspace + warmed kernels.
 
     ``solve_batch`` is the coalescing entry point the queue uses; a
-    single ``solve`` is just a batch of one.
+    single ``solve`` is just a batch of one.  The batch pipeline is
+    exposed in three phases — :meth:`prepare_batch`,
+    :meth:`group_batch`, :meth:`_solve_group` — so the worker pool
+    (:mod:`repro.serve.pool`) can dispatch independent groups to
+    concurrent workers while reusing the exact serial solve path (which
+    is what keeps pooled answers bit-identical to a serial run).
+
+    Concurrency contract: every workspace tier is individually
+    thread-safe, and :meth:`_solve_group` serializes on two keyed locks
+
+    - a *structure* lock per ``(model, scale)`` — held only while
+      :meth:`~repro.fem.model.ContactStructure.system` writes values into
+      the shared union-pattern CSR (and, under ``snapshot=True``, while
+      those values are copied out);
+    - a *factor* lock per ``(model, scale, precond)`` — held for the
+      whole group solve, because the cached factorization object is
+      ``refactor``-ed **in place** on a penalty change and must not be
+      re-valued while another group is applying it.
+
+    Groups with distinct factor keys run fully concurrently; groups
+    sharing one are serialized (they share a mutable factor, so they are
+    not independent).  Pool workers pass ``snapshot=True`` so each group
+    iterates on its own value array; snapshots share the pattern's index
+    arrays, so the IC ``refactor`` identity fast path still hits.
     """
 
     def __init__(self, capacity: int = 8, warm_kernels: bool = True,
@@ -237,6 +272,16 @@ class SolverSession:
         self.kernel_backend = kernels.active_backend()
         self.warmup_seconds = float(kernels.warmup()["seconds"]) if warm_kernels else 0.0
         self.jobs_served = 0
+        self._stats_lock = threading.Lock()
+        self._key_locks: dict[tuple, threading.RLock] = {}
+        self._key_locks_guard = threading.Lock()
+
+    def _lock_for(self, key: tuple) -> threading.RLock:
+        with self._key_locks_guard:
+            lk = self._key_locks.get(key)
+            if lk is None:
+                lk = self._key_locks[key] = threading.RLock()
+            return lk
 
     def solve(self, request: SolveRequest) -> SolveResponse:
         return self.solve_batch([request])[0]
@@ -250,53 +295,126 @@ class SolverSession:
         and fan the answer back out.  Responses come back in request
         order.  A failed group fails only its own jobs.
         """
-        responses: list[SolveResponse | None] = [None] * len(requests)
+        prepared, responses = self.prepare_batch(requests)
+        groups = self.group_batch(prepared)
+        for key, idxs in groups.items():
+            fp, precond, eps, max_iter = key[:4]
+            self._solve_group(fp, precond, eps, max_iter, idxs, prepared, responses)
+        self.count_served(responses)
+        return [r for r in responses if r is not None]
 
-        # Prepare: resolve structure + rhs + fingerprint per request.
+    # -- batch phases ------------------------------------------------------
+
+    def prepare_batch(
+        self, requests: list[SolveRequest]
+    ) -> tuple[list[dict[str, Any] | None], list[SolveResponse | None]]:
+        """Resolve structure + rhs + operator fingerprint per request.
+
+        Returns ``(prepared, responses)`` aligned with *requests*; a
+        request that fails preparation gets its structured error response
+        immediately and a None ``prepared`` slot.
+        """
+        responses: list[SolveResponse | None] = [None] * len(requests)
         prepared: list[dict[str, Any] | None] = [None] * len(requests)
         for i, req in enumerate(requests):
             job_id = req.job_id if req.job_id is not None else f"job-{i}"
             try:
-                s, content, s_event = self.workspace.structure(req.model, req.scale)
+                with self._lock_for(("structure", req.model, req.scale)):
+                    s, content, s_event = self.workspace.structure(req.model, req.scale)
                 fp = self.workspace.operator_fingerprint(content, req.penalty)
                 rhs = _rhs_array(req, s)
             except Exception as exc:  # malformed request must not kill the batch
-                responses[i] = SolveResponse(job_id=job_id, ok=False, error=str(exc))
+                reason = (
+                    FailureReason.POISONED_PAYLOAD.value
+                    if isinstance(exc, ProtocolError) else None
+                )
+                responses[i] = SolveResponse(
+                    job_id=job_id, ok=False, error=str(exc), reason=reason
+                )
                 continue
             prepared[i] = {
                 "req": req, "job_id": job_id, "s": s, "fp": fp,
                 "rhs": rhs, "s_event": s_event,
             }
+        return prepared, responses
 
-        # Group by solve key, preserving first-appearance order.
+    @staticmethod
+    def group_batch(
+        prepared: list[dict[str, Any] | None]
+    ) -> "OrderedDict[tuple, list[int]]":
+        """Group prepared requests by solve key, highest priority first.
+
+        Base order is first appearance (the determinism contract journal
+        replay relies on); a stable sort by descending group priority
+        (the max over the group's requests) reorders *whole groups* so an
+        urgent request is dispatched first under load without perturbing
+        the order of equal-priority work.  A chaos-carrying request gets
+        a private group so its injected fault cannot take healthy
+        requests down with it.
+        """
         groups: OrderedDict[tuple, list[int]] = OrderedDict()
         for i, p in enumerate(prepared):
             if p is None:
                 continue
-            key = (p["fp"], p["req"].precond, p["req"].eps, p["req"].max_iter)
+            req: SolveRequest = p["req"]
+            key = (p["fp"], req.precond, req.eps, req.max_iter)
+            if req.chaos is not None:
+                key += (("chaos", p["job_id"]),)
             groups.setdefault(key, []).append(i)
+        if any(prepared[idxs[0]]["req"].priority for idxs in groups.values()):
+            groups = OrderedDict(sorted(
+                groups.items(),
+                key=lambda kv: -max(prepared[i]["req"].priority for i in kv[1]),
+            ))
+        return groups
 
-        for (fp, precond, eps, max_iter), idxs in groups.items():
-            self._solve_group(fp, precond, eps, max_iter, idxs, prepared, responses)
-
-        self.jobs_served += sum(1 for r in responses if r is not None and r.ok)
-        return [r for r in responses if r is not None]
+    def count_served(self, responses: list[SolveResponse | None]) -> None:
+        with self._stats_lock:
+            self.jobs_served += sum(
+                1 for r in responses if r is not None and r.ok
+            )
 
     # -- one coalesced group ---------------------------------------------
 
     def _solve_group(self, fp: str, precond: str, eps: float, max_iter: int | None,
-                     idxs: list[int], prepared: list, responses: list) -> None:
+                     idxs: list[int], prepared: list, responses: list,
+                     *, snapshot: bool = False) -> None:
         first = prepared[idxs[0]]
         req0: SolveRequest = first["req"]
         s: ContactStructure = first["s"]
         before = setup_counters()
         t0 = time.perf_counter()
         try:
-            a = s.system(req0.penalty)
-            m, f_event = self.workspace.preconditioner(
-                req0.model, req0.scale, precond, a, s.groups, fp
-            )
+            with self._lock_for(("factor", req0.model, req0.scale, precond)):
+                with self._lock_for(("structure", req0.model, req0.scale)):
+                    a = s.system(req0.penalty)
+                    if snapshot:
+                        # Private value array for this group (concurrent
+                        # groups re-materialize the shared pattern);
+                        # index arrays are shared, so the factorization's
+                        # pattern identity fast path still applies.
+                        a = sp.csr_matrix(
+                            (a.data.copy(), a.indices, a.indptr), shape=a.shape
+                        )
+                m, f_event = self.workspace.preconditioner(
+                    req0.model, req0.scale, precond, a, s.groups, fp
+                )
+                return self._solve_group_body(
+                    fp, precond, eps, max_iter, idxs, prepared, responses,
+                    s, a, m, f_event, before, t0,
+                )
+        except Exception as exc:
+            err = f"{type(exc).__name__}: {exc}"
+            for i in idxs:
+                responses[i] = SolveResponse(
+                    job_id=prepared[i]["job_id"], ok=False, fingerprint=fp, error=err
+                )
+            return
 
+    def _solve_group_body(self, fp, precond, eps, max_iter, idxs, prepared,
+                          responses, s, a, m, f_event, before, t0) -> None:
+        first = prepared[idxs[0]]
+        try:
             # Dedup exact-duplicate RHS: solve unique columns only.
             col_of: dict[str, int] = {}
             cols: list[np.ndarray] = []

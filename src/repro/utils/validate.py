@@ -65,6 +65,24 @@ def check_finite_coords(coords: np.ndarray, name: str = "mesh coordinates") -> n
     return coords
 
 
+def check_finite_array(a: np.ndarray, name: str = "array") -> np.ndarray:
+    """Fail fast on NaN/Inf entries anywhere in *a*.
+
+    The generic sibling of :func:`check_finite_coords`, used by the serve
+    protocol layer to reject poisoned right-hand sides before they reach
+    the solver (where a single NaN only surfaces iterations later as a
+    NAN_DETECTED breakdown).
+    """
+    a = np.asarray(a)
+    if a.size and not np.isfinite(a).all():
+        bad = np.flatnonzero(~np.isfinite(a.ravel()))
+        raise ValueError(
+            f"{name} contains {bad.size} non-finite entr"
+            f"{'y' if bad.size == 1 else 'ies'} (first at flat index {bad[0]})"
+        )
+    return a
+
+
 def check_contact_groups(
     groups: list[np.ndarray], n_nodes: int
 ) -> list[np.ndarray]:

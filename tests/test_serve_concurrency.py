@@ -1,0 +1,451 @@
+"""Hardened serving layer: worker pool, admission control, deadlines,
+fault isolation, journal retention.
+
+The robustness properties of the concurrency tentpole live here:
+
+- pooled solves (thread and process mode) are **bit-identical** to the
+  serial batch path — concurrency is across groups, never inside one;
+- a crashed or wedged worker settles only its own group's jobs (with a
+  structured ``worker_crash`` / ``request_timeout`` answer + quarantine
+  record) while every other group keeps solving, and the pool replaces
+  the lost worker so capacity never decays;
+- the admission front refuses work *structurally*: full queue →
+  ``overloaded``, oversized payload → ``poisoned_payload``, deadline
+  expired while queued → ``request_timeout`` — never an exception;
+- journal retention compacts finished request/result pairs without ever
+  touching an in-flight job's request journal.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.io.journal import write_journal
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    JobQueue,
+    ProtocolError,
+    RetentionPolicy,
+    SolveRequest,
+    SolverSession,
+    WorkerPool,
+)
+from repro.serve.queue import _request_journal_parts
+
+SCALE = 0.25  # smallest block model: fast enough for per-test batches
+POOL_PRECONDS = ("sbbic0", "bic0", "ic0")
+
+
+def _req(**kw) -> SolveRequest:
+    base = dict(model="block", scale=SCALE, penalty=1e4, precond="sbbic0")
+    base.update(kw)
+    return SolveRequest(**base)
+
+
+@pytest.fixture(scope="module")
+def session() -> SolverSession:
+    """One warm session shared across tests (it is thread-safe; pools
+    attach to it rather than owning it)."""
+    s = SolverSession(warm_kernels=False)
+    s.solve_batch([_req(job_id=f"warm-{p}", precond=p) for p in POOL_PRECONDS])
+    return s
+
+
+# -- protocol hardening ----------------------------------------------------
+
+
+class TestProtocolHardening:
+    def test_priority_clamped_at_boundary(self):
+        assert _req(priority=7).priority == 7
+        assert _req(priority=-100).priority == -100
+        with pytest.raises(ProtocolError, match="priority"):
+            _req(priority=101)
+
+    def test_deadline_must_be_positive_finite(self):
+        assert _req(deadline_s=2.5).deadline_s == 2.5
+        with pytest.raises(ProtocolError, match="deadline_s"):
+            _req(deadline_s=0.0)
+        with pytest.raises(ProtocolError, match="deadline_s"):
+            _req(deadline_s=float("inf"))
+
+    def test_remaining_counts_from_admission(self):
+        r = _req(deadline_s=10.0)
+        r.submitted_at = 100.0
+        assert r.remaining_s(104.0) == pytest.approx(6.0)
+        assert _req().remaining_s(104.0) is None  # no deadline
+
+    def test_nonfinite_rhs_refused_at_protocol_boundary(self):
+        with pytest.raises(ProtocolError, match="non-finite"):
+            _req(rhs=[1.0, float("nan"), 3.0])
+        with pytest.raises(ProtocolError, match="non-finite"):
+            _req(rhs=[1.0, float("inf")])
+
+    def test_non_flat_rhs_refused(self):
+        with pytest.raises(ProtocolError, match="flat"):
+            _req(rhs=[[1.0, 2.0], [3.0, 4.0]])
+
+    def test_chaos_field_gated_on_environment(self, monkeypatch):
+        wire = {"id": "c1", "model": "block", "scale": SCALE,
+                "chaos": {"kind": "crash"}}
+        monkeypatch.delenv("REPRO_SERVE_CHAOS", raising=False)
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            SolveRequest.from_dict(dict(wire))
+        monkeypatch.setenv("REPRO_SERVE_CHAOS", "1")
+        req = SolveRequest.from_dict(dict(wire))
+        assert req.chaos == {"kind": "crash"}
+        # a chaos request never coalesces with its neighbours
+        assert req.solve_key() != _req(job_id="c2", scale=SCALE).solve_key()
+
+    def test_chaos_kind_validated(self):
+        with pytest.raises(ProtocolError, match="chaos"):
+            _req(chaos={"kind": "meltdown"})
+
+
+# -- admission control -------------------------------------------------------
+
+
+class TestAdmission:
+    def test_full_queue_answers_overloaded(self, session):
+        queue = JobQueue(
+            session=session,
+            admission=AdmissionController(AdmissionPolicy(max_queue_depth=1)),
+        )
+        first = queue.submit(_req(job_id="adm-1"))
+        second = queue.submit(_req(job_id="adm-2"))
+        assert first.state == "pending"
+        assert second.state == "rejected"
+        assert second.response is not None
+        assert not second.response.ok
+        assert second.response.reason == "overloaded"
+        # the admitted job still solves
+        queue.process()
+        assert first.state == "done" and first.response.converged
+        st = queue.stats()["admission"]
+        assert st["admitted"] == 1
+        assert st["rejected"] == {"overloaded": 1}
+
+    def test_oversized_payload_refused_before_journaling(self, session, tmp_path):
+        queue = JobQueue(
+            session=session, journal_dir=tmp_path,
+            admission=AdmissionController(
+                AdmissionPolicy(max_payload_bytes=64)
+            ),
+        )
+        job = queue.submit(_req(job_id="adm-big", rhs=[1.0] * 100))
+        assert job.state == "rejected"
+        assert job.response.reason == "poisoned_payload"
+        assert list(tmp_path.glob("*.jnl")) == []  # never journaled
+
+    def test_deadline_expired_in_queue_refused_at_dispatch(self, session):
+        admission = AdmissionController(AdmissionPolicy())
+        queue = JobQueue(session=session, admission=admission)
+        job = queue.submit(_req(job_id="adm-late", deadline_s=0.01))
+        time.sleep(0.05)
+        queue.process()
+        assert job.state == "rejected"
+        assert job.response.reason == "request_timeout"
+        assert admission.deadline_expired == 1
+
+    def test_default_deadline_stamped_at_admission(self, session):
+        admission = AdmissionController(
+            AdmissionPolicy(default_deadline_s=30.0)
+        )
+        queue = JobQueue(session=session, admission=admission)
+        job = queue.submit(_req(job_id="adm-default"))
+        assert job.request.deadline_s == 30.0
+        assert job.request.submitted_at is not None
+
+    def test_quarantine_ring_is_bounded(self):
+        from repro.serve.admission import QuarantineRecord
+
+        admission = AdmissionController(AdmissionPolicy(quarantine_keep=3))
+        for i in range(10):
+            admission.quarantine(
+                QuarantineRecord(job_id=f"q-{i}", reason="worker_crash")
+            )
+        records = admission.quarantine_records()
+        assert len(records) == 3
+        assert [r.job_id for r in records] == ["q-7", "q-8", "q-9"]
+        assert admission.stats()["quarantined"] == 10
+
+
+# -- priority ordering --------------------------------------------------------
+
+
+class TestPriorityOrdering:
+    def test_high_priority_groups_solve_first(self, session):
+        reqs = [
+            _req(job_id="lo", precond="sbbic0", priority=0),
+            _req(job_id="hi", precond="bic0", priority=9),
+            _req(job_id="mid", precond="ic0", priority=4),
+        ]
+        prepared, _ = session.prepare_batch(reqs)
+        groups = session.group_batch(prepared)
+        order = [prepared[idxs[0]]["req"].job_id for idxs in groups.values()]
+        assert order == ["hi", "mid", "lo"]
+
+    def test_all_default_priorities_keep_submission_order(self, session):
+        reqs = [
+            _req(job_id="a", precond="bic0"),
+            _req(job_id="b", precond="sbbic0"),
+        ]
+        prepared, _ = session.prepare_batch(reqs)
+        groups = session.group_batch(prepared)
+        order = [prepared[idxs[0]]["req"].job_id for idxs in groups.values()]
+        assert order == ["a", "b"]
+
+
+# -- journal retention --------------------------------------------------------
+
+
+class TestRetention:
+    def test_policy_validates(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(keep_last=-1)
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_bytes=-1)
+        assert not RetentionPolicy().enabled
+        assert RetentionPolicy(keep_last=5).enabled
+
+    def test_keep_last_compacts_oldest_finished_pairs(self, session, tmp_path):
+        queue = JobQueue(
+            session=session, journal_dir=tmp_path,
+            retention=RetentionPolicy(keep_last=1),
+        )
+        for i in range(3):
+            queue.submit(_req(job_id=f"ret-{i}"))
+            queue.process()
+            time.sleep(0.02)  # distinct mtimes order the compaction
+        pairs = sorted(p.name for p in tmp_path.glob("*.jnl"))
+        assert pairs == ["ret-2.req.jnl", "ret-2.res.jnl"]
+        journal = queue.stats()["journal"]
+        assert journal["files"] == 2
+        assert journal["compacted_files"] == 4
+        assert journal["compacted_bytes"] > 0
+
+    def test_max_bytes_budget(self, session, tmp_path):
+        queue = JobQueue(
+            session=session, journal_dir=tmp_path,
+            retention=RetentionPolicy(max_bytes=0),
+        )
+        queue.submit(_req(job_id="ret-b"))
+        queue.process()
+        assert list(tmp_path.glob("*.jnl")) == []
+
+    def test_inflight_request_journal_never_compacted(self, session, tmp_path):
+        queue = JobQueue(
+            session=session, journal_dir=tmp_path,
+            retention=RetentionPolicy(keep_last=0),
+        )
+        # a request journal without a result is exactly what resume()
+        # recovers — compaction must leave it alone
+        arrays, meta = _request_journal_parts(_req(job_id="inflight"))
+        write_journal(queue._req_path("inflight"), arrays, meta)
+        queue.compact()
+        assert queue._req_path("inflight").exists()
+
+
+# -- worker pool: thread mode -------------------------------------------------
+
+
+class TestWorkerPoolThread:
+    def test_constructor_validates(self, session):
+        with pytest.raises(ValueError):
+            WorkerPool(session, workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(session, mode="fiber")
+        with pytest.raises(ValueError):
+            WorkerPool(session, solve_timeout_s=0.0)
+
+    def test_pooled_answers_bit_identical_to_serial(self, session):
+        def batch():
+            return [
+                _req(job_id=f"bit-{p}", precond=p) for p in POOL_PRECONDS
+            ]
+
+        serial = session.solve_batch(batch())
+        with WorkerPool(session, workers=3, mode="thread") as pool:
+            pooled = pool.solve_batch(batch())
+        assert all(r.ok and r.converged for r in pooled)
+        assert [r.x_sha256 for r in pooled] == [r.x_sha256 for r in serial]
+        assert [r.job_id for r in pooled] == [r.job_id for r in serial]
+
+    def test_crash_isolated_to_its_own_group(self, session):
+        admission = AdmissionController(AdmissionPolicy())
+        pool = WorkerPool(session, workers=2, mode="thread",
+                          admission=admission)
+        try:
+            out = pool.solve_batch([
+                _req(job_id="ok-1"),
+                _req(job_id="boom", chaos={"kind": "crash"}),
+                _req(job_id="ok-2", precond="bic0"),
+            ])
+            by_id = {r.job_id: r for r in out}
+            assert by_id["ok-1"].ok and by_id["ok-1"].converged
+            assert by_id["ok-2"].ok and by_id["ok-2"].converged
+            assert not by_id["boom"].ok
+            assert by_id["boom"].reason == "worker_crash"
+            # the fault is observable and capacity was restored
+            assert admission.stats()["quarantined"] >= 1
+            stats = pool.stats()
+            assert stats["crashes"] == 1
+            assert stats["replaced_workers"] >= 1
+            # the pool keeps serving after the fault
+            again = pool.solve_batch([_req(job_id="after-crash")])
+            assert again[0].ok and again[0].converged
+        finally:
+            pool.close()
+
+    def test_wedged_worker_abandoned_at_deadline(self, session):
+        admission = AdmissionController(AdmissionPolicy())
+        pool = WorkerPool(session, workers=2, mode="thread",
+                          admission=admission)
+        try:
+            t0 = time.monotonic()
+            out = pool.solve_batch([
+                _req(job_id="stuck", deadline_s=0.3,
+                     chaos={"kind": "wedge", "seconds": 5.0}),
+                _req(job_id="fine"),
+            ])
+            elapsed = time.monotonic() - t0
+            by_id = {r.job_id: r for r in out}
+            assert not by_id["stuck"].ok
+            assert by_id["stuck"].reason == "request_timeout"
+            assert by_id["fine"].ok and by_id["fine"].converged
+            assert elapsed < 4.0  # answered at the deadline, not the wedge
+            assert pool.stats()["timeouts"] == 1
+            assert pool.stats()["replaced_workers"] >= 1
+        finally:
+            pool.close()
+
+    def test_per_worker_tallies_sum_to_completed(self, session):
+        with WorkerPool(session, workers=2, mode="thread") as pool:
+            pool.solve_batch(
+                [_req(job_id=f"tally-{p}", precond=p) for p in POOL_PRECONDS]
+            )
+            stats = pool.stats()
+        assert sum(stats["per_worker"].values()) == stats["completed"] == 3
+        assert stats["mode"] == "thread" and stats["workers"] == 2
+
+    def test_close_is_idempotent(self, session):
+        pool = WorkerPool(session, workers=1, mode="thread")
+        pool.close()
+        pool.close()
+
+
+# -- worker pool: process mode ------------------------------------------------
+
+
+class TestWorkerPoolProcess:
+    def test_pooled_answers_bit_identical_to_serial(self, session):
+        def batch():
+            return [
+                _req(job_id=f"pbit-{p}", precond=p)
+                for p in POOL_PRECONDS[:2]
+            ]
+
+        serial = session.solve_batch(batch())
+        with WorkerPool(session, workers=2, mode="process") as pool:
+            pooled = pool.solve_batch(batch())
+        assert all(r.ok and r.converged for r in pooled)
+        assert [r.x_sha256 for r in pooled] == [r.x_sha256 for r in serial]
+
+    def test_child_death_classified_and_respawned(self, session):
+        admission = AdmissionController(AdmissionPolicy())
+        pool = WorkerPool(session, workers=1, mode="process",
+                          admission=admission)
+        try:
+            out = pool.solve_batch(
+                [_req(job_id="pboom", chaos={"kind": "crash"})]
+            )
+            assert not out[0].ok
+            assert out[0].reason == "worker_crash"
+            assert pool.stats()["crashes"] == 1
+            # the replacement child serves the next batch
+            again = pool.solve_batch([_req(job_id="pafter")])
+            assert again[0].ok and again[0].converged
+            assert admission.stats()["quarantined"] >= 1
+        finally:
+            pool.close()
+
+    def test_wedged_child_killed_at_deadline(self, session):
+        pool = WorkerPool(session, workers=1, mode="process")
+        try:
+            t0 = time.monotonic()
+            out = pool.solve_batch([
+                _req(job_id="pstuck", deadline_s=0.3,
+                     chaos={"kind": "wedge", "seconds": 10.0}),
+            ])
+            elapsed = time.monotonic() - t0
+            assert not out[0].ok
+            assert out[0].reason == "request_timeout"
+            assert elapsed < 8.0  # killed at the deadline, not the wedge
+            assert pool.stats()["timeouts"] == 1
+        finally:
+            pool.close()
+
+
+# -- queue + pool integration --------------------------------------------------
+
+
+class TestQueueWithPool:
+    def test_stats_shape_has_every_section(self, session, tmp_path):
+        pool = WorkerPool(session, workers=2, mode="thread")
+        queue = JobQueue(
+            session=session, journal_dir=tmp_path, pool=pool,
+            admission=AdmissionController(AdmissionPolicy()),
+            retention=RetentionPolicy(keep_last=8),
+        )
+        try:
+            queue.submit(_req(job_id="stats-1"))
+            queue.process()
+            st = queue.stats()
+        finally:
+            pool.close()
+        assert st["jobs"]["done"] == 1
+        assert {"files", "bytes", "compacted_files", "compacted_bytes"} \
+            <= set(st["journal"])
+        assert {"admitted", "rejected", "deadline_expired", "quarantined"} \
+            <= set(st["admission"])
+        assert {"dispatched", "completed", "timeouts", "crashes",
+                "per_worker"} <= set(st["pool"])
+
+    def test_pooled_queue_matches_serial_queue(self, session, tmp_path):
+        serial_q = JobQueue(session=session)
+        for i in range(4):
+            serial_q.submit(_req(job_id=f"sq-{i}", rhs={"seed": i}))
+        serial_jobs = serial_q.process()
+
+        pool = WorkerPool(session, workers=2, mode="thread")
+        pooled_q = JobQueue(session=session, pool=pool)
+        try:
+            for i in range(4):
+                pooled_q.submit(_req(job_id=f"sq-{i}", rhs={"seed": i}))
+            pooled_jobs = pooled_q.process()
+        finally:
+            pool.close()
+        assert [j.response.x_sha256 for j in pooled_jobs] == \
+            [j.response.x_sha256 for j in serial_jobs]
+
+    def test_rejected_jobs_appear_in_requests_table(self, session):
+        from repro import obs
+        from repro.obs.export import requests_table
+
+        with obs.observe() as sess:
+            queue = JobQueue(
+                session=session,
+                admission=AdmissionController(
+                    AdmissionPolicy(max_queue_depth=1)
+                ),
+            )
+            queue.submit(_req(job_id="tbl-ok"))
+            queue.submit(_req(job_id="tbl-refused"))
+            queue.process()
+            table = requests_table(sess.tracer)
+        assert "reason" in table.splitlines()[0]
+        assert "tbl-refused" in table
+        assert "overloaded" in table
