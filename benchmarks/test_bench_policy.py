@@ -1,0 +1,139 @@
+"""Acceptance gates for the policy layer's mixed-sweep benchmark.
+
+``scripts/bench_policy_dump.py`` solves a generators x penalties sweep
+(block contact, southwest Japan fault, homogeneous box) through four
+fixed escalation ladders and two passes of the learned policy, then
+writes ``BENCH_policy.json``.  The gates mirror the script's own:
+
+- learned-policy pass 2 <= 1.0x the best *fixed* ladder's total,
+- learned-policy pass 2 strictly < the *default* static ladder's total,
+- pass 2 (warm probe cache + richer history) <= pass 1 (cold probes).
+
+These only hold because per-case winners differ across the sweep — the
+box generator has no contact groups, so the paper's SB-BIC-first default
+order wastes two block factorizations there — which is the existence
+proof for choosing the ladder per problem instead of statically.
+
+The trajectory-file convention (capped first-2 + last-8, same-tree
+refresh, dropped-entry counter) is gated separately on synthetic
+entries, without re-running the sweep.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_dump_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_policy_dump", REPO_ROOT / "scripts" / "bench_policy_dump.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_policy_dump", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def dump_module():
+    return _load_dump_module()
+
+
+@pytest.fixture(scope="module")
+def sweep(dump_module, tmp_path_factory):
+    """One quick-mode sweep; its exit code and the JSON it wrote."""
+    out = tmp_path_factory.mktemp("bench_policy") / "BENCH_policy.json"
+    # --no-gate so the fixture always yields the doc; gates re-asserted below
+    rc = dump_module.main(["--quick", "--out", str(out), "--no-gate"])
+    return rc, json.loads(out.read_text())
+
+
+def test_sweep_runs_clean(sweep):
+    rc, doc = sweep
+    assert rc == 0
+    assert len(doc["trajectory"]) == 1
+    entry = doc["trajectory"][0]
+    assert entry["quick"] is True
+    assert len(entry["cases"]) == 9  # 3 generators x 3 penalties
+    for case in entry["cases"]:
+        for arm, row in case["arms"].items():
+            assert row["converged"], f"{case['name']} arm {arm} did not converge"
+
+
+def test_policy_beats_best_fixed_ladder(sweep):
+    """ISSUE gate: pass 2 <= 1.0x the best fixed ladder on the mixed sweep."""
+    _, doc = sweep
+    entry = doc["trajectory"][0]
+    best_fixed = min(entry["fixed_totals_s"].values())
+    assert entry["policy_pass2_s"] <= best_fixed, (
+        f"policy pass 2 {entry['policy_pass2_s'] * 1e3:.0f} ms vs best fixed "
+        f"{best_fixed * 1e3:.0f} ms"
+    )
+    assert entry["gates"]["policy_vs_best_fixed"]["ok"]
+
+
+def test_policy_strictly_beats_default_ladder(sweep):
+    _, doc = sweep
+    entry = doc["trajectory"][0]
+    default_total = entry["fixed_totals_s"]["default"]
+    assert entry["policy_pass2_s"] < default_total, (
+        f"policy pass 2 {entry['policy_pass2_s'] * 1e3:.0f} ms not below the "
+        f"default static ladder's {default_total * 1e3:.0f} ms"
+    )
+    assert entry["gates"]["policy_vs_default"]["ok"]
+
+
+def test_warm_pass_not_slower_than_cold(sweep):
+    """Second pass over the same traffic (cached probes) <= the first."""
+    _, doc = sweep
+    entry = doc["trajectory"][0]
+    assert entry["policy_pass2_s"] <= entry["policy_pass1_s"], (
+        f"warm pass {entry['policy_pass2_s'] * 1e3:.0f} ms slower than cold "
+        f"{entry['policy_pass1_s'] * 1e3:.0f} ms"
+    )
+    assert entry["gates"]["warm_vs_cold"]["ok"]
+
+
+def test_sweep_winners_actually_differ(sweep):
+    """The mixed sweep must not be winnable by one fixed family — otherwise
+    the policy gates above are vacuous."""
+    _, doc = sweep
+    entry = doc["trajectory"][0]
+    winners = set()
+    for case in entry["cases"]:
+        fixed = {a: r["wall_s"] for a, r in case["arms"].items()
+                 if a not in ("pass1", "pass2")}
+        winners.add(min(fixed, key=fixed.get))
+    assert len(winners) >= 2, f"single fixed winner {winners} across the sweep"
+
+
+def test_trajectory_cap_and_same_tree_refresh(dump_module, tmp_path, monkeypatch):
+    """Capped-trajectory convention: first-2 + last-8 kept, drops counted,
+    and a re-run on the same git tree replaces the last entry in place."""
+    monkeypatch.setattr(dump_module, "_git_tree", lambda: "tree-A")
+    path = tmp_path / "traj.json"
+    for i in range(12):
+        monkeypatch.setattr(dump_module, "_git_tree", lambda i=i: f"tree-{i}")
+        appended = dump_module.append_trajectory(path, {"run": i, "quick": False})
+        assert appended
+    doc = json.loads(path.read_text())
+    assert len(doc["trajectory"]) == 10
+    assert [e["run"] for e in doc["trajectory"][:2]] == [0, 1]
+    assert doc["trajectory"][-1]["run"] == 11
+    assert doc["meta"]["dropped_entries"] == 2
+
+    # same tree + same mode refreshes in place instead of appending
+    monkeypatch.setattr(dump_module, "_git_tree", lambda: "tree-11")
+    assert not dump_module.append_trajectory(path, {"run": 99, "quick": False})
+    doc = json.loads(path.read_text())
+    assert len(doc["trajectory"]) == 10
+    assert doc["trajectory"][-1]["run"] == 99
+    # ... but a different mode (quick vs full) appends a fresh entry
+    assert dump_module.append_trajectory(path, {"run": 100, "quick": True})

@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Measure the solver-policy layer on a mixed sweep and dump ``BENCH_policy.json``.
+
+The sweep is generators x penalties (block contact model, southwest
+Japan fault model, homogeneous box — the last has no contact groups, so
+its best preconditioner is structurally different from the contact
+cases').  Every case is solved through four *fixed* escalation ladders
+(the paper's default order plus one ladder forced to lead with each
+family), then twice through the policy:
+
+- **pass 1** — learned mode with the fixed-sweep outcomes as recorded
+  history, but a cold probe cache: every decision pays its probe.
+- **pass 2** — the same policy object over the same traffic: probes are
+  cached and the history additionally contains pass 1's outcomes.  This
+  is the serve workspace's steady state for repeat traffic.
+
+Gates (exit non-zero on regression unless ``--no-gate``):
+
+- pass-2 policy total <= 1.0x the best fixed-ladder total,
+- pass-2 policy total strictly < the default static ladder's total,
+- pass 2 <= pass 1 (warm probes + richer history never slower).
+
+The first two only hold when per-case winners actually differ across the
+sweep — which is the point of the policy layer: no fixed order wins a
+mixed workload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_policy_dump.py           # full
+    PYTHONPATH=src python scripts/bench_policy_dump.py --quick   # CI smoke
+
+``BENCH_policy.json`` is a cumulative capped trajectory (same convention
+as ``BENCH_setup.json``): one entry per run, a re-run on an unchanged
+git tree replaces the previous entry, and the file keeps the first 2 +
+last 8 entries with a dropped-entry counter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import kernels  # noqa: E402
+from repro.experiments.workloads import (  # noqa: E402
+    block_problem,
+    homogeneous_box_problem,
+    swjapan_problem,
+)
+from repro.policy import (  # noqa: E402
+    PolicyDecision,
+    PolicyHistory,
+    SolverPolicy,
+    family_of_stage,
+)
+from repro.resilience.resilient import ResilientSolver  # noqa: E402
+
+PENALTIES = (1.0e4, 1.0e6, 1.0e8)
+FIXED_ARMS = ("default", "sbbic0", "bic0", "diag")
+SHIFTS = (0.01, 0.1)
+
+
+def build_cases(quick: bool) -> list[dict]:
+    scale = 0.4 if quick else 0.5
+    n_box = 8 if quick else 10
+    generators = {
+        "block": lambda pen: block_problem(scale, pen),
+        "swjapan": lambda pen: swjapan_problem(scale, pen),
+        # the box ignores the penalty (no contact groups) — it is the
+        # sweep's "your default ladder is wrong here" generator
+        "box": lambda pen: homogeneous_box_problem(n_box, pen),
+    }
+    cases = []
+    for gen, make in generators.items():
+        for pen in PENALTIES:
+            prob = make(pen)
+            cases.append({
+                "name": f"{gen}@{pen:g}", "generator": gen,
+                "penalty": pen, "prob": prob, "ndof": int(prob.ndof),
+                "n_groups": len(prob.groups),
+            })
+    return cases
+
+
+def forced_order(probe, first: str) -> tuple[str, ...]:
+    """The default family order with *first* promoted to the front."""
+    base = []
+    if probe.n_groups > 0 and probe.block_ok:
+        base.append("sbbic0")
+    base.append("bic0" if probe.block_ok else "ic0")
+    base.append("diag")
+    if first == "default" or first not in base:
+        return tuple(base)
+    return (first, *[f for f in base if f != first])
+
+
+def timed_ladder_solve(policy: SolverPolicy, case: dict, decision) -> tuple[float, object, str]:
+    """Wall time of build-ladder + resilient solve; returns the leading family too."""
+    prob = case["prob"]
+    t0 = time.perf_counter()
+    stages, decision = policy.ladder(
+        prob.a, prob.groups, decision=decision, cache_key=case["name"]
+    )
+    res = ResilientSolver(prob.a, stages).solve(prob.b)
+    wall = time.perf_counter() - t0
+    return wall, res, family_of_stage(stages[0].name)
+
+
+def _git_tree() -> str | None:
+    """Hash of the committed source tree, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD^{tree}"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def append_trajectory(
+    path: Path, entry: dict, *, keep_first: int = 2, keep_last: int = 8
+) -> bool:
+    """Append a run entry to the cumulative trajectory (capped; a re-run
+    on an unchanged git tree + mode replaces the last entry)."""
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {
+            "meta": {
+                "sweep": "generators (block, swjapan, box) x penalties (1e4, 1e6, 1e8)",
+                "generated_by": "scripts/bench_policy_dump.py",
+                "note": "cumulative policy-vs-fixed-ladder trajectory, one entry per run",
+            },
+            "trajectory": [],
+        }
+    entry = {**entry, "git_tree": _git_tree()}
+    traj = doc["trajectory"]
+    appended = True
+    if traj:
+        last = traj[-1]
+        same_source = (
+            entry["git_tree"] is not None
+            and last.get("git_tree") == entry["git_tree"]
+            and last.get("quick") == entry.get("quick")
+        )
+        if same_source:
+            traj[-1] = entry  # refresh, don't duplicate
+            appended = False
+    if appended:
+        traj.append(entry)
+    if len(traj) > keep_first + keep_last:
+        dropped = len(traj) - keep_first - keep_last
+        doc["meta"]["dropped_entries"] = (
+            doc["meta"].get("dropped_entries", 0) + dropped
+        )
+        doc["trajectory"] = traj[:keep_first] + traj[-keep_last:]
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return appended
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke mode: smaller models, same gates")
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_policy.json")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="never fail on regressed totals")
+    args = ap.parse_args(argv)
+
+    kernels.warmup()  # JIT compile outside every timer
+    print("building sweep cases ...")
+    cases = build_cases(args.quick)
+
+    history = PolicyHistory()
+    policy = SolverPolicy("cost", history=history, shifts=SHIFTS)
+    for case in cases:  # probe once per case, outside the fixed-arm timers
+        policy.probe(case["prob"].a, case["prob"].groups, cache_key=case["name"])
+
+    # -- fixed-ladder arms (every outcome feeds the shared history) -------
+    fixed_totals = {arm: 0.0 for arm in FIXED_ARMS}
+    case_rows: dict[str, dict] = {c["name"]: {} for c in cases}
+    for arm in FIXED_ARMS:
+        for case in cases:
+            probe = policy.probe(
+                case["prob"].a, case["prob"].groups, cache_key=case["name"]
+            )
+            decision = PolicyDecision(
+                mode="fixed", order=forced_order(probe, arm), shifts=SHIFTS,
+                ncolors=0, checkpoint_interval=250, probe=probe,
+                source=f"bench fixed arm {arm!r}",
+            )
+            wall, res, led = timed_ladder_solve(policy, case, decision)
+            fixed_totals[arm] += wall
+            history.record(
+                probe.fingerprint(), led,
+                seconds=wall, converged=res.converged,
+                iterations=res.iterations,
+            )
+            case_rows[case["name"]][arm] = {
+                "wall_s": wall, "led": led,
+                "converged": bool(res.converged),
+                "iterations": int(res.iterations),
+            }
+    for arm in FIXED_ARMS:
+        print(f"fixed ladder {arm!r:<10} total {fixed_totals[arm] * 1e3:8.1f} ms")
+
+    # -- policy passes ----------------------------------------------------
+    learned = SolverPolicy("learned", history=history, shifts=SHIFTS)
+    pass_totals = []
+    for pass_name in ("pass1", "pass2"):
+        total = 0.0
+        for case in cases:
+            prob = case["prob"]
+            t0 = time.perf_counter()
+            decision = learned.decide(prob.a, prob.groups, cache_key=case["name"])
+            _, res, led = timed_ladder_solve(learned, case, decision)
+            wall = time.perf_counter() - t0  # decide() time included
+            total += wall
+            learned.record_outcome(
+                decision, led,
+                seconds=wall, converged=res.converged,
+                iterations=res.iterations,
+            )
+            case_rows[case["name"]][pass_name] = {
+                "wall_s": wall, "led": led,
+                "converged": bool(res.converged),
+                "iterations": int(res.iterations),
+            }
+        pass_totals.append(total)
+        print(f"policy {pass_name}          total {total * 1e3:8.1f} ms")
+
+    pass1_total, pass2_total = pass_totals
+    best_fixed_arm = min(fixed_totals, key=fixed_totals.get)
+    best_fixed = fixed_totals[best_fixed_arm]
+    default_total = fixed_totals["default"]
+    gates = {
+        "policy_vs_best_fixed": {
+            "ratio": pass2_total / best_fixed,
+            "floor": 1.0,
+            "ok": pass2_total <= best_fixed,
+            "best_fixed_arm": best_fixed_arm,
+        },
+        "policy_vs_default": {
+            "ratio": pass2_total / default_total,
+            "ok": pass2_total < default_total,
+        },
+        "warm_vs_cold": {
+            "ratio": pass2_total / pass1_total,
+            "ok": pass2_total <= pass1_total,
+        },
+    }
+
+    print()
+    name_w = max(len(n) for n in case_rows) + 2
+    print(f"{'case'.ljust(name_w)}" + "".join(
+        f"{a:>12}" for a in (*FIXED_ARMS, "pass1", "pass2")
+    ) + "  winner")
+    for case in cases:
+        rows = case_rows[case["name"]]
+        winner = min(FIXED_ARMS, key=lambda a: rows[a]["wall_s"])
+        print(f"{case['name'].ljust(name_w)}" + "".join(
+            f"{rows[a]['wall_s'] * 1e3:>10.1f}ms"
+            for a in (*FIXED_ARMS, "pass1", "pass2")
+        ) + f"  {winner}")
+    print()
+    print(f"best fixed ladder: {best_fixed_arm!r} at {best_fixed * 1e3:.1f} ms; "
+          f"policy pass 2: {pass2_total * 1e3:.1f} ms "
+          f"({pass2_total / best_fixed:.3f}x best fixed, "
+          f"{pass2_total / default_total:.3f}x default, "
+          f"{pass2_total / pass1_total:.3f}x pass 1)")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": kernels.describe(),
+        "cases": [
+            {k: case[k] for k in ("name", "generator", "penalty", "ndof", "n_groups")}
+            | {"arms": case_rows[case["name"]]}
+            for case in cases
+        ],
+        "fixed_totals_s": fixed_totals,
+        "policy_pass1_s": pass1_total,
+        "policy_pass2_s": pass2_total,
+        "history": history.to_dict(),
+        "gates": gates,
+    }
+    appended = append_trajectory(args.out, entry)
+    verb = "appended policy trajectory entry to" if appended else \
+        "refreshed same-tree policy trajectory entry in"
+    print(f"{verb} {args.out}")
+
+    if not args.no_gate:
+        failed = [name for name, g in gates.items() if not g["ok"]]
+        if failed:
+            for name in failed:
+                print(f"REGRESSION: gate {name} failed ({gates[name]})")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

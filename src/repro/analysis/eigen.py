@@ -54,6 +54,76 @@ def _m_actions(precond: Preconditioner, n: int):
     )
 
 
+def lanczos_extremes(
+    a,
+    *,
+    k: int = 16,
+    seed: int = 0,
+    jacobi_scaled: bool = True,
+) -> EigenSummary:
+    """Few-iteration Lanczos estimate of the extreme eigenvalues of ``A``
+    (by default of the Jacobi-scaled ``D^{-1/2} A D^{-1/2}``).
+
+    This is the policy layer's conditioning *probe*: ``k`` matrix-vector
+    products — not a converged eigensolve.  Ritz values from a ``k``-step
+    tridiagonalization bracket the spectrum from the inside, so the
+    returned ``kappa`` is a (usually mild) under-estimate; the policy
+    only needs its order of magnitude.  Full reorthogonalization keeps
+    the tiny Krylov basis honest on ill-conditioned operators.  Systems
+    with fewer than ``4 k`` DOF are solved densely instead — exact and
+    still cheap at probe sizes.
+    """
+    a = check_square_csr(a)
+    n = a.shape[0]
+    if k < 2:
+        raise ValueError(f"lanczos probe needs k >= 2, got {k}")
+    if jacobi_scaled:
+        d = np.abs(a.diagonal()).astype(np.float64)
+        d[d == 0.0] = 1.0
+        dis = 1.0 / np.sqrt(d)
+
+        def op(v: np.ndarray) -> np.ndarray:
+            return dis * (a @ (dis * v))
+    else:
+
+        def op(v: np.ndarray) -> np.ndarray:
+            return a @ v
+
+    if n <= 4 * k:
+        mat = np.empty((n, n))
+        eye = np.eye(n)
+        for j in range(n):
+            mat[:, j] = op(eye[:, j])
+        vals = np.linalg.eigvalsh(0.5 * (mat + mat.T))
+        return EigenSummary(emin=float(vals[0]), emax=float(vals[-1]))
+
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal(n)
+    q /= np.linalg.norm(q)
+    basis = np.empty((k, n))
+    alphas = np.empty(k)
+    betas = np.empty(k)
+    q_prev = np.zeros(n)
+    beta = 0.0
+    steps = 0
+    for j in range(k):
+        basis[j] = q
+        w = op(q)
+        alphas[j] = float(q @ w)
+        w -= alphas[j] * q + beta * q_prev
+        # full reorthogonalization: k is tiny, the O(k n) cost is noise
+        w -= basis[: j + 1].T @ (basis[: j + 1] @ w)
+        beta = float(np.linalg.norm(w))
+        steps = j + 1
+        if beta < 1e-14:
+            break  # invariant subspace found: Ritz values are exact
+        betas[j] = beta
+        q_prev = q
+        q = w / beta
+    vals = dla.eigvalsh_tridiagonal(alphas[:steps], betas[: steps - 1])
+    return EigenSummary(emin=float(vals[0]), emax=float(vals[-1]))
+
+
 def preconditioned_spectrum(
     a,
     precond: Preconditioner,

@@ -139,6 +139,9 @@ def _run_solve(args) -> int:
     if getattr(args, "transport", None):
         return _run_distributed_solve(args, prob)
 
+    if getattr(args, "policy", None):
+        return _run_policy_solve(args, prob)
+
     makers = {
         "diag": lambda: DiagonalScaling(prob.a),
         "ic0": lambda: scalar_ic0(prob.a),
@@ -155,6 +158,34 @@ def _run_solve(args) -> int:
     print(f"model: {prob.ndof} DOF, penalty {args.penalty:g}, precond {m.name}")
     print(res)
     print(f"set-up {m.setup_seconds:.3f}s, memory {m.memory_bytes()/1e6:.2f} MB")
+    return 0 if res.converged else 1
+
+
+def _run_policy_solve(args, prob) -> int:
+    """Solve through a policy-ranked resilient ladder (``--policy``)."""
+    from repro.policy import PolicyHistory, SolverPolicy
+    from repro.resilience.resilient import ResilientSolver
+
+    history = None
+    if getattr(args, "policy_history", None):
+        history = PolicyHistory.load(args.policy_history)
+    policy = SolverPolicy(args.policy, history=history)
+    stages, decision = policy.ladder(prob.a, prob.groups)
+    print(decision.explain())
+    solver = ResilientSolver(
+        prob.a, stages, max_iter=args.max_iter,
+        on_stage_result=lambda name, r: policy.record_outcome(
+            decision, name,
+            seconds=r.solve_seconds, converged=r.converged,
+            iterations=r.iterations,
+        ),
+    )
+    res = solver.solve(prob.b)
+    print(f"model: {prob.ndof} DOF, penalty {args.penalty:g}, policy {args.policy}")
+    print(res)
+    if getattr(args, "policy_history", None):
+        policy.history.save(args.policy_history)
+        print(f"policy history saved to {args.policy_history}")
     return 0 if res.converged else 1
 
 
@@ -234,7 +265,10 @@ def _build_queue(args):
 
     if args.kernel_backend:
         kernels.set_backend(args.kernel_backend)
-    session = SolverSession(capacity=args.capacity)
+    session = SolverSession(
+        capacity=args.capacity,
+        policy_mode=getattr(args, "policy_mode", "learned"),
+    )
     admission = AdmissionController(AdmissionPolicy(
         max_queue_depth=args.max_queue_depth,
         max_payload_bytes=args.max_payload_bytes,
@@ -307,13 +341,50 @@ def _cmd_batch(args) -> int:
     return 0 if all(j.state == "done" for j in jobs) else 1
 
 
+def _cmd_policy(args) -> int:
+    """Show what the solver policy would decide for one problem."""
+    from repro.experiments.workloads import block_problem, swjapan_problem
+    from repro.policy import PolicyHistory, SolverPolicy
+
+    if args.action != "explain":
+        print(f"unknown policy action {args.action!r}", file=sys.stderr)
+        return 2
+    if args.model == "block":
+        prob = block_problem(args.scale, penalty=args.penalty)
+    else:
+        prob = swjapan_problem(args.scale, penalty=args.penalty)
+    history = (
+        PolicyHistory.load(args.history) if args.history is not None else None
+    )
+    policy = SolverPolicy(args.mode, history=history)
+    decision = policy.decide(prob.a, prob.groups)
+    print(decision.explain())
+    if history is not None:
+        stats = history.stats_for(decision.fingerprint)
+        if stats:
+            print("recorded history for this fingerprint:")
+            for fam, st in sorted(stats.items(), key=lambda kv: kv[1].score):
+                print(
+                    f"  {fam:<8} runs={st.runs} failures={st.failures} "
+                    f"mean={st.mean_seconds:.4f}s score={st.score:.4f}"
+                )
+        else:
+            print("no recorded history for this fingerprint")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     if args.merge:
         out = obs.merge_rank_traces(args.merge, args.out)
         print(f"merged {len(args.merge)} rank trace(s) into {out}")
         return 0
     if args.requests:
-        print(obs.requests_table(obs.load_jsonl_records(args.requests)))
+        records = obs.load_jsonl_records(args.requests)
+        print(obs.requests_table(records))
+        policy = obs.policy_table(records)
+        if policy != "(no policy spans in trace)":
+            print()
+            print(policy)
         return 0
     with obs.observe() as sess:
         rc = _run_solve(args)
@@ -374,6 +445,18 @@ def main(argv: list[str] | None = None) -> int:
             "rank-tagged trace.rank<r>.jsonl into DIR "
             "(merge with: repro trace --merge DIR/trace.rank*.jsonl)",
         )
+        p.add_argument(
+            "--policy", default=None,
+            choices=["static", "cost", "learned"],
+            help="solve through a policy-ranked resilient ladder instead "
+            "of the single --precond (static = paper order, cost = "
+            "cost-model ranking, learned = recorded history first)",
+        )
+        p.add_argument(
+            "--policy-history", default=None, metavar="PATH",
+            help="with --policy: load recorded outcome history from PATH "
+            "before deciding and save it back after the solve",
+        )
 
     p_solve = sub.add_parser("solve", help="solve one model once")
     add_solve_args(p_solve)
@@ -403,6 +486,25 @@ def main(argv: list[str] | None = None) -> int:
         "wall time) instead of solving",
     )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_policy = sub.add_parser(
+        "policy",
+        help="inspect the solver policy (probe + cost + history) for a model",
+    )
+    p_policy.add_argument("action", choices=["explain"])
+    p_policy.add_argument("--model", default="block", choices=["block", "swjapan"])
+    p_policy.add_argument("--scale", type=float, default=1.0)
+    p_policy.add_argument("--penalty", type=float, default=1e6)
+    p_policy.add_argument(
+        "--mode", default="cost", choices=["static", "cost", "learned"],
+        help="decision mode to explain (default cost)",
+    )
+    p_policy.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="recorded outcome history file (e.g. a serve journal "
+        "directory's policy_history.json)",
+    )
+    p_policy.set_defaults(fn=_cmd_policy)
 
     def add_serve_args(p) -> None:
         p.add_argument(
@@ -462,6 +564,13 @@ def main(argv: list[str] | None = None) -> int:
             "--retention-max-bytes", type=int, default=None, metavar="B",
             help="compact oldest finished journal pairs once the journal "
             "directory exceeds B bytes (default: unbounded)",
+        )
+        p.add_argument(
+            "--policy-mode", default="learned",
+            choices=["static", "cost", "learned"],
+            help="how precond=auto requests choose a family: static = "
+            "paper order, cost = cost-model ranking, learned = recorded "
+            "workspace history first (default learned)",
         )
 
     p_serve = sub.add_parser(

@@ -48,6 +48,7 @@ from repro.obs.export import (
     export_jsonl,
     load_jsonl_records,
     merge_rank_traces,
+    policy_table,
     requests_table,
     summary_table,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "export_jsonl",
     "load_jsonl_records",
     "merge_rank_traces",
+    "policy_table",
     "requests_table",
     "metric_inc",
     "metric_observe",

@@ -30,6 +30,7 @@ __all__ = [
     "export_jsonl",
     "load_jsonl_records",
     "merge_rank_traces",
+    "policy_table",
     "requests_table",
     "summary_table",
 ]
@@ -297,6 +298,74 @@ def load_jsonl_records(path) -> list[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def _policy_spans(source, names: set[str]) -> list[dict]:
+    if isinstance(source, Tracer):
+        return [
+            _flat(s, source.t0)
+            for s in source.iter_spans()
+            if s.kind == "span" and s.name in names
+        ]
+    return [
+        r for r in source
+        if r.get("kind") == "span" and r.get("name") in names
+    ]
+
+
+def policy_table(source) -> str:
+    """Per-decision view of the solver policy's activity in a trace.
+
+    *source* is either a live :class:`Tracer` or an iterable of flat
+    JSONL records.  One line per ``policy.decide`` span (mode, decided
+    order, provenance), followed by one line per ``policy.outcome`` span
+    (which family actually ran, whether it converged, measured wall
+    time) — the at-a-glance answer to "what did the policy choose and
+    was it right".
+    """
+    decides = _policy_spans(source, {"policy.decide"})
+    outcomes = _policy_spans(source, {"policy.outcome"})
+    if not decides and not outcomes:
+        return "(no policy spans in trace)"
+    lines: list[str] = []
+    if decides:
+        decides.sort(key=lambda r: r.get("t_start_s") or 0.0)
+        rows = [("fingerprint", "mode", "order", "decided by", "ms")]
+        for r in decides:
+            at = r.get("attrs", {})
+            rows.append((
+                str(at.get("fingerprint", "") or "-"),
+                str(at.get("mode", "?")),
+                str(at.get("order", "?")),
+                str(at.get("source", "")),
+                f"{1e3 * (r.get('duration_s') or 0.0):.1f}",
+            ))
+        widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+        lines += [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows
+        ]
+    if outcomes:
+        outcomes.sort(key=lambda r: r.get("t_start_s") or 0.0)
+        rows = [("fingerprint", "choice", "stage", "conv", "iters", "wall ms")]
+        for r in outcomes:
+            at = r.get("attrs", {})
+            rows.append((
+                str(at.get("fingerprint", "?")),
+                str(at.get("choice", "?")),
+                str(at.get("stage", "") or "-"),
+                "y" if at.get("converged") else "n",
+                str(at.get("iterations", "?")),
+                f"{1e3 * (r.get('duration_s') or 0.0):.1f}",
+            ))
+        widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+        if lines:
+            lines.append("")
+        lines += [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows
+        ]
+    return "\n".join(lines)
 
 
 def requests_table(source) -> str:

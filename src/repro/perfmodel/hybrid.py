@@ -46,11 +46,20 @@ class IterationTime:
 
     @property
     def work_ratio_percent(self) -> float:
-        """Paper Figs. 5, 17b, 18b: computation / elapsed time."""
+        """Paper Figs. 5, 17b, 18b: computation / elapsed time.
+
+        A degenerate census (no phases, or all-zero loop lengths — the
+        policy layer's cost probes can produce these legitimately) has
+        zero elapsed time; report 0.0 instead of dividing by it."""
+        if self.total_seconds == 0.0:
+            return 0.0
         return 100.0 * (self.compute_seconds + self.openmp_seconds) / self.total_seconds
 
     def gflops_total(self) -> float:
-        """Aggregate sustained GFLOPS over all nodes."""
+        """Aggregate sustained GFLOPS over all nodes (0.0 for a
+        zero-time degenerate census)."""
+        if self.total_seconds == 0.0:
+            return 0.0
         return self.n_nodes * self.flops_per_iteration_node / self.total_seconds / 1e9
 
 

@@ -44,6 +44,7 @@ class VectorPipeline:
     def time_for_loops(self, loop_lengths: np.ndarray, flops_per_element: float) -> float:
         """Seconds to execute one pass over all loops (vectorized)."""
         ll = np.asarray(loop_lengths, dtype=np.float64)
+        ll = ll[ll > 0]  # a zero-length loop executes nothing (0/0 guard)
         if ll.size == 0:
             return 0.0
         rates = self.r_inf * ll / (ll + self.n_half)

@@ -1,0 +1,378 @@
+"""The policy itself: probe -> decision -> escalation ladder.
+
+:class:`SolverPolicy` replaces the static rung order of
+:func:`repro.resilience.resilient.default_ladder` with a ranked one,
+while keeping the same :class:`~repro.resilience.resilient.FallbackStage`
+surface — :class:`~repro.resilience.resilient.ResilientSolver` and the
+ALM driver run a policy-built ladder unchanged, and every robustness
+property of the chain (escalation, warm restart, the Diagonal backstop)
+is preserved.  The policy only chooses which rung goes *first* and how
+the retry schedule behind it looks; it never removes the ladder.
+
+Three modes:
+
+- ``static`` — the paper's fixed order (SB-BIC(0) -> BIC(0) -> shifted
+  -> Diagonal), probes skipped.  The control arm.
+- ``cost`` — rank rungs by the cost model's predicted seconds
+  (:func:`repro.policy.cost.candidate_costs`) from a cheap probe.
+- ``learned`` — lead with the best *recorded* family for the problem's
+  fingerprint (:class:`repro.policy.history.PolicyHistory`); fall back
+  to the cost ranking on cold classes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import obs
+from repro.perfmodel.machines import EARTH_SIMULATOR, MachineModel
+from repro.policy.cost import CandidateCost, applicable_families, candidate_costs
+from repro.policy.history import PolicyHistory
+from repro.policy.probes import ProblemProbe, probe_problem
+from repro.precond.bic import bic
+from repro.precond.diagonal import DiagonalScaling
+from repro.precond.ic0 import scalar_ic0
+from repro.precond.sbbic import sb_bic0
+from repro.resilience.resilient import FallbackStage
+
+__all__ = [
+    "POLICY_MODES",
+    "PolicyDecision",
+    "SolverPolicy",
+    "family_of_stage",
+]
+
+POLICY_MODES = ("static", "cost", "learned")
+
+_STAGE_FAMILY = {
+    "SB-BIC(0)": "sbbic0",
+    "BIC(0)": "bic0",
+    "IC(0) scalar": "ic0",
+    "Diagonal": "diag",
+    # serve-protocol family names pass through unchanged, so outcome
+    # recording works from both ladder stage names and resolved requests
+    "sbbic0": "sbbic0",
+    "bic0": "bic0",
+    "ic0": "ic0",
+    "diag": "diag",
+}
+
+
+def family_of_stage(stage_name: str) -> str | None:
+    """Map a ladder stage name back to its policy family.
+
+    Shifted retries count toward their base family (``BIC(0)+shift0.01``
+    -> ``bic0``): the shift schedule is part of the rung the policy
+    chose, not a separate choice to learn.
+    """
+    base = stage_name.split("+", 1)[0]
+    if base.startswith("IC(0)"):
+        return "ic0"
+    return _STAGE_FAMILY.get(base)
+
+
+@dataclass
+class PolicyDecision:
+    """Everything one ``decide()`` call settled, with its evidence."""
+
+    mode: str
+    order: tuple[str, ...]
+    """Ladder-leading family order, strongest-candidate first."""
+    shifts: tuple[float, ...]
+    ncolors: int
+    checkpoint_interval: int
+    """Suggested iterations between journal checkpoints for long solves,
+    scaled to the predicted iteration count of the chosen rung."""
+    probe: ProblemProbe | None
+    costs: list[CandidateCost] = field(default_factory=list)
+    source: str = ""
+    """Human-readable provenance: which signal picked the leader."""
+
+    @property
+    def fingerprint(self) -> str | None:
+        return self.probe.fingerprint() if self.probe is not None else None
+
+    def explain(self) -> str:
+        """Multi-line account of the decision for ``repro policy explain``."""
+        lines = [f"policy mode: {self.mode}", f"decided by: {self.source}"]
+        if self.probe is not None:
+            p = self.probe
+            lines += [
+                f"fingerprint: {p.fingerprint()}",
+                f"probe: ndof={p.ndof} nnz={p.nnz} groups={p.n_groups} "
+                f"(max {p.max_group} nodes) penalty_ratio={p.penalty_ratio:.3g} "
+                f"kappa~{p.kappa_scaled:.3g} [{p.probe_seconds * 1e3:.1f} ms]",
+            ]
+        if self.costs:
+            header = f"{'family':<8} {'setup':>10} {'per-iter':>10} {'iters':>6} {'risk':>5} {'total':>10}"
+            lines += ["predicted costs (modeled-machine seconds, ranking only):", "  " + header]
+            for c in self.costs:
+                lines.append(
+                    f"  {c.family:<8} {c.setup_seconds:>10.3e} "
+                    f"{c.per_iter_seconds:>10.3e} {c.predicted_iterations:>6d} "
+                    f"{c.risk:>5.2f} {c.predicted_seconds:>10.3e}"
+                )
+        lines += [
+            f"ladder order: {' -> '.join(self.order)}",
+            f"shift schedule: {self.shifts}",
+            f"ncolors: {self.ncolors}",
+            f"checkpoint interval: every {self.checkpoint_interval} iterations",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "order": list(self.order),
+            "shifts": list(self.shifts),
+            "ncolors": self.ncolors,
+            "checkpoint_interval": self.checkpoint_interval,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+        }
+
+
+class SolverPolicy:
+    """Choose how to solve a problem before paying for a preconditioner.
+
+    Thread-compatible with the serve session's locking discipline: the
+    probe cache is keyed by the caller's structure key, and the
+    underlying :class:`PolicyHistory` is itself thread-safe.
+
+    Parameters
+    ----------
+    mode:
+        ``static`` / ``cost`` / ``learned`` (see module docstring).
+    history:
+        Shared outcome store; required for ``learned`` to ever deviate
+        from the cost ranking (a fresh one is created if omitted).
+    machine:
+        Machine model used for cost-ranking (relative units only).
+    """
+
+    def __init__(
+        self,
+        mode: str = "cost",
+        *,
+        history: PolicyHistory | None = None,
+        machine: MachineModel = EARTH_SIMULATOR,
+        eps: float = 1e-8,
+        lanczos_iters: int = 16,
+        shifts: tuple[float, ...] = (0.01, 0.1),
+    ) -> None:
+        if mode not in POLICY_MODES:
+            raise ValueError(f"unknown policy mode {mode!r}; expected one of {POLICY_MODES}")
+        self.mode = mode
+        self.history = history if history is not None else PolicyHistory()
+        self.machine = machine
+        self.eps = eps
+        self.lanczos_iters = lanczos_iters
+        self.shifts = tuple(shifts)
+        self._probe_cache: dict[Any, ProblemProbe] = {}
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(
+        self,
+        a,
+        contact_groups: list[np.ndarray] | None = None,
+        *,
+        cache_key: Any = None,
+    ) -> ProblemProbe:
+        if cache_key is not None and cache_key in self._probe_cache:
+            return self._probe_cache[cache_key]
+        p = probe_problem(a, contact_groups, lanczos_iters=self.lanczos_iters)
+        if cache_key is not None:
+            self._probe_cache[cache_key] = p
+        return p
+
+    # -- deciding ----------------------------------------------------------
+
+    def decide(
+        self,
+        a,
+        contact_groups: list[np.ndarray] | None = None,
+        *,
+        cache_key: Any = None,
+    ) -> PolicyDecision:
+        """Rank the ladder for one problem; cheap when the probe is cached."""
+        t0 = time.perf_counter()
+        if self.mode == "static":
+            decision = self._decide_static(a, contact_groups)
+        else:
+            probe = self.probe(a, contact_groups, cache_key=cache_key)
+            costs = candidate_costs(
+                probe, eps=self.eps, machine=self.machine
+            )
+            order = tuple(c.family for c in costs)
+            source = "cost model ranking"
+            if self.mode == "learned":
+                best = self.history.best(probe.fingerprint())
+                if best is not None and best in order:
+                    order = (best, *[f for f in order if f != best])
+                    source = (
+                        f"recorded history for {probe.fingerprint()} "
+                        f"(cost model for the tail)"
+                    )
+                else:
+                    source = "cost model ranking (no history for this fingerprint)"
+            lead_iters = next(
+                c.predicted_iterations for c in costs if c.family == order[0]
+            )
+            decision = PolicyDecision(
+                mode=self.mode,
+                order=order,
+                shifts=self.shifts,
+                ncolors=0,
+                checkpoint_interval=max(50, lead_iters // 4),
+                probe=probe,
+                costs=costs,
+                source=source,
+            )
+        obs.record_span(
+            "policy.decide",
+            time.perf_counter() - t0,
+            mode=self.mode,
+            order="->".join(decision.order),
+            fingerprint=decision.fingerprint,
+            source=decision.source,
+        )
+        return decision
+
+    def _decide_static(self, a, contact_groups) -> PolicyDecision:
+        a = sp.csr_matrix(a)
+        blocked = a.shape[0] % 3 == 0
+        order = []
+        if contact_groups and blocked:
+            order.append("sbbic0")
+        order.append("bic0" if blocked else "ic0")
+        order.append("diag")
+        return PolicyDecision(
+            mode="static",
+            order=tuple(order),
+            shifts=self.shifts,
+            ncolors=0,
+            checkpoint_interval=250,
+            probe=None,
+            source="fixed paper ladder (no probe)",
+        )
+
+    # -- ladder construction ----------------------------------------------
+
+    def ladder(
+        self,
+        a,
+        contact_groups: list[np.ndarray] | None = None,
+        *,
+        decision: PolicyDecision | None = None,
+        cache_key: Any = None,
+        b: int = 3,
+    ) -> tuple[list[FallbackStage], PolicyDecision]:
+        """Build a ResilientSolver ladder in the decided order.
+
+        Same contract as :func:`~repro.resilience.resilient.default_ladder`
+        — including the shared BIC-family cache (every BIC/IC rung after
+        the first refactors the cached numeric object in place) and a
+        Diagonal rung that is always last, so no decision can remove the
+        unbreakable backstop.
+        """
+        if decision is None:
+            decision = self.decide(a, contact_groups, cache_key=cache_key)
+        a = sp.csr_matrix(a)
+        dbar = float(np.abs(a.diagonal()).mean()) or 1.0
+        groups = list(contact_groups) if contact_groups else []
+        blocked = a.shape[0] % b == 0
+
+        cache: dict = {}  # shared BIC-family symbolic + last factorization
+
+        def bic_rung(shift: float, label: str):
+            m = cache.get("m")
+            if m is not None:
+                m.refactor(shift=shift)
+                m.name = label
+                return m
+            if blocked:
+                m = bic(
+                    a, fill_level=0, b=b, shift=shift,
+                    ncolors=decision.ncolors, symbolic=cache.get("sym"),
+                )
+            else:
+                m = scalar_ic0(
+                    a, shift=shift, ncolors=decision.ncolors,
+                    symbolic=cache.get("sym"),
+                )
+            m.name = label
+            cache["sym"] = m.symbolic
+            cache["m"] = m
+            return m
+
+        stages: list[FallbackStage] = []
+        for family in decision.order:
+            if family == "sbbic0":
+                if not groups:
+                    continue
+                stages.append(
+                    FallbackStage(
+                        "SB-BIC(0)",
+                        lambda: sb_bic0(a, groups, b=b, ncolors=decision.ncolors),
+                    )
+                )
+            elif family in ("bic0", "ic0"):
+                plain = "BIC(0)" if blocked else "IC(0) scalar"
+                stages.append(FallbackStage(plain, lambda: bic_rung(0.0, plain)))
+                for alpha in decision.shifts:
+                    label = f"{'BIC(0)' if blocked else 'IC(0)'}+shift{alpha:g}"
+                    stages.append(
+                        FallbackStage(
+                            label,
+                            lambda shift=alpha * dbar, label=label: bic_rung(
+                                shift, label
+                            ),
+                        )
+                    )
+            elif family == "diag":
+                if stages and stages[-1].name == "Diagonal":
+                    continue
+                stages.append(FallbackStage("Diagonal", lambda: DiagonalScaling(a)))
+        if not stages or stages[-1].name != "Diagonal":
+            stages.append(FallbackStage("Diagonal", lambda: DiagonalScaling(a)))
+        return stages, decision
+
+    # -- learning ----------------------------------------------------------
+
+    def record_outcome(
+        self,
+        decision: PolicyDecision,
+        stage_name: str,
+        *,
+        seconds: float,
+        converged: bool,
+        iterations: int = 0,
+    ) -> None:
+        """Fold one attempted rung's measured outcome into history.
+
+        Safe to hang directly off ``ResilientSolver(on_stage_result=...)``
+        — stage names map back to families via :func:`family_of_stage`,
+        and decisions made without a probe (static mode) are ignored.
+        """
+        fp = decision.fingerprint
+        family = family_of_stage(stage_name)
+        if fp is None or family is None:
+            return
+        self.history.record(
+            fp, family, seconds=seconds, converged=converged, iterations=iterations
+        )
+        obs.record_span(
+            "policy.outcome",
+            seconds,
+            fingerprint=fp,
+            choice=family,
+            stage=stage_name,
+            converged=converged,
+            iterations=iterations,
+        )

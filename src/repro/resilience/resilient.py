@@ -141,6 +141,12 @@ class ResilientSolver:
     stagnation_window / stagnation_rtol / time_budget:
         Forwarded to each :func:`cg_solve` attempt; the time budget is
         shared across the whole chain (remaining time shrinks per stage).
+    on_stage_result:
+        Optional ``callback(stage_name, CGResult)`` invoked after every
+        attempted rung, converged or not — the policy layer's history
+        recorder hangs off this.  The callback owns the result object it
+        is handed; mutating ``result.x`` cannot corrupt the chain's
+        warm-restart vector (it is copied on capture).
 
     The full detection / escalation / recovery trail is appended to
     :attr:`report` (a :class:`SolveReport`), which is also attached to
@@ -159,6 +165,7 @@ class ResilientSolver:
         time_budget: float | None = None,
         escalate_on_pivot_nudge: bool = True,
         report: SolveReport | None = None,
+        on_stage_result: Callable[[str, CGResult], None] | None = None,
     ) -> None:
         if not ladder:
             raise ValueError("fallback ladder must have at least one stage")
@@ -171,6 +178,7 @@ class ResilientSolver:
         self.time_budget = time_budget
         self.escalate_on_pivot_nudge = escalate_on_pivot_nudge
         self.report = report if report is not None else SolveReport()
+        self.on_stage_result = on_stage_result
 
     # ------------------------------------------------------------------
 
@@ -260,6 +268,8 @@ class ResilientSolver:
             )
             last = res
             if res.converged:
+                if self.on_stage_result is not None:
+                    self.on_stage_result(stage.name, res)
                 if failed_before:
                     self.report.record(
                         "recover",
@@ -272,11 +282,19 @@ class ResilientSolver:
                 res.report = self.report
                 return res
 
-            # keep the best finite iterate for the next rung's warm start
+            # keep the best finite iterate for the next rung's warm start.
+            # Copied, not aliased: ``res.x`` travels out of this method on
+            # the returned CGResult and through on_stage_result — a caller
+            # mutating a failed rung's result must not silently corrupt
+            # the next rung's restart vector.
             if np.isfinite(res.x).all() and np.isfinite(res.relative_residual):
                 if res.relative_residual < best_relres:
                     best_relres = res.relative_residual
-                    best_x = res.x
+                    best_x = res.x.copy()
+            # the hook fires only after the capture above so a callback
+            # mutating the result cannot reach the copied restart vector
+            if self.on_stage_result is not None:
+                self.on_stage_result(stage.name, res)
             # release the superseded rung's numeric arrays before the next
             # rung builds its own — otherwise the largest factorization of
             # the ladder stays alive for the whole escalation, and across

@@ -142,9 +142,12 @@ class AdmissionController:
     ) -> SolveResponse | None:
         """Refuse or admit at the front door; None = admitted.
 
-        Also stamps the request's admission time and applies the policy's
-        default deadline, so dispatch screening and the pool measure the
-        same budget.
+        Also applies the policy's default deadline and — only when the
+        queue has not already stamped one — a server-monotonic receipt
+        time, so dispatch screening and the pool measure the same budget
+        from the moment the server first took the request.  An existing
+        stamp is preserved: restamping here would silently reset the
+        deadline clock of a request that waited to be screened.
         """
         job_id = request.job_id or "?"
         payload = request.rhs
@@ -162,7 +165,8 @@ class AdmissionController:
             )
         if request.deadline_s is None:
             request.deadline_s = self.policy.default_deadline_s
-        request.submitted_at = time.monotonic()
+        if request.submitted_at is None:
+            request.submitted_at = time.monotonic()
         with self._lock:
             self.admitted += 1
         obs.metric_inc("serve.admission.admitted")

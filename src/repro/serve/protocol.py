@@ -22,10 +22,17 @@ non-finite entry is rejected here, at the protocol boundary, so a
 poisoned payload never reaches the solver.
 
 ``priority`` (higher solves first under load) and ``deadline_s`` (a
-wall-clock budget counted from admission; an expired request gets a
-structured ``REQUEST_TIMEOUT`` answer instead of an answer) feed the
-admission controller and worker pool (:mod:`repro.serve.admission`,
-:mod:`repro.serve.pool`).
+budget counted from **server receipt** on the server's monotonic clock;
+an expired request gets a structured ``REQUEST_TIMEOUT`` answer instead
+of an answer) feed the admission controller and worker pool
+(:mod:`repro.serve.admission`, :mod:`repro.serve.pool`).
+
+A client may also send ``submitted_at`` (its own wall-clock send time,
+e.g. ``time.time()``).  It is recorded verbatim for tracing — client
+clocks and the server's monotonic clock share no epoch, so it is
+**never** compared against server timestamps or used in deadline
+arithmetic.  Deadline accounting is explicitly server-side: queue wait
+is measured from the moment the server first takes the request.
 
 A ``chaos`` field ({"kind": "crash"|"wedge", "seconds": s}) is accepted
 **only** when the ``REPRO_SERVE_CHAOS`` environment variable is set; it
@@ -48,7 +55,11 @@ from repro.utils.validate import check_finite_array
 _JOB_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,80}$")
 
 MODELS = ("block", "swjapan")
-PRECONDS = ("diag", "ic0", "bic0", "bic1", "bic2", "sbbic0")
+PRECONDS = ("diag", "ic0", "bic0", "bic1", "bic2", "sbbic0", "auto")
+"""``auto`` defers the choice to the session's solver policy
+(:mod:`repro.policy`): the request is resolved to a concrete family at
+solve time from probes, cost predictions, and the workspace's recorded
+outcome history."""
 
 CHAOS_ENV = "REPRO_SERVE_CHAOS"
 """Environment variable gating the ``chaos`` request field (fault
@@ -82,9 +93,16 @@ class SolveRequest:
     priority: int = 0
     deadline_s: float | None = None
     chaos: dict | None = None
+    client_submitted_at: float | None = None
+    """Client wall-clock send time (the wire's ``submitted_at`` field),
+    recorded for tracing only.  A client clock shares no epoch with the
+    server's monotonic clock, so this value must never enter deadline
+    arithmetic — :meth:`remaining_s` ignores it by construction."""
     submitted_at: float | None = None
-    """Monotonic-clock admission timestamp, set by the queue; transient
-    (never serialized) — deadlines count from here."""
+    """Server-side monotonic receipt stamp, set once by the queue when
+    it first takes the request (admission preserves it rather than
+    restamping); transient (never serialized) — deadlines count from
+    here, so queue wait is measured from server receipt."""
 
     def __post_init__(self) -> None:
         if self.job_id is not None:
@@ -125,6 +143,13 @@ class SolveRequest:
                 raise ProtocolError(
                     f"deadline_s must be a positive finite number, got {self.deadline_s}"
                 )
+        if self.client_submitted_at is not None:
+            self.client_submitted_at = float(self.client_submitted_at)
+            if not np.isfinite(self.client_submitted_at):
+                raise ProtocolError(
+                    "submitted_at must be a finite client wall-clock value, "
+                    f"got {self.client_submitted_at}"
+                )
         self.chaos = _check_chaos(self.chaos)
         self.rhs = _check_rhs(self.rhs)
 
@@ -137,6 +162,7 @@ class SolveRequest:
         known = {
             "id", "model", "scale", "penalty", "precond", "eps",
             "max_iter", "rhs", "return_x", "priority", "deadline_s",
+            "submitted_at",
         }
         if os.environ.get(CHAOS_ENV):
             known.add("chaos")
@@ -157,6 +183,7 @@ class SolveRequest:
                 priority=d.get("priority", 0),
                 deadline_s=d.get("deadline_s"),
                 chaos=d.get("chaos"),
+                client_submitted_at=d.get("submitted_at"),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):
@@ -188,6 +215,8 @@ class SolveRequest:
             d["priority"] = self.priority
         if self.deadline_s is not None:
             d["deadline_s"] = self.deadline_s
+        if self.client_submitted_at is not None:
+            d["submitted_at"] = self.client_submitted_at
         if self.chaos is not None:
             d["chaos"] = dict(self.chaos)
         if isinstance(self.rhs, np.ndarray):
@@ -208,8 +237,10 @@ class SolveRequest:
 
     def remaining_s(self, now: float) -> float | None:
         """Seconds of deadline budget left at monotonic time *now*
-        (None = no deadline).  Counted from admission; a request that was
-        never admitted has its full budget."""
+        (None = no deadline).  Counted from server receipt
+        (:attr:`submitted_at`, a server-monotonic stamp — never the
+        client's :attr:`client_submitted_at`); a request the server has
+        not yet taken has its full budget."""
         if self.deadline_s is None:
             return None
         start = self.submitted_at if self.submitted_at is not None else now

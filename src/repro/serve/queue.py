@@ -38,6 +38,18 @@ journals are how a long-lived server fills a disk.  After each
 in ``stats()``.  A compacted job loses its idempotent-retry
 short-circuit — that is the documented trade.
 
+Policy persistence: with a journal directory, the workspace's learned
+policy history (fingerprint -> family -> observed cost, see
+:mod:`repro.policy.history`) is loaded from ``policy_history.json`` at
+construction and saved back after any ``process`` that recorded new
+outcomes.  The file is not a journal (no ``.jnl`` suffix), so retention
+compaction and usage accounting never touch it.  Note the determinism
+caveat for ``precond="auto"`` requests: the family is resolved at solve
+time, so a journal *replay* with a richer history than the original run
+may legally choose a different (better-informed) family — the recorded
+result short-circuit still guarantees completed jobs replay their
+original answer.
+
 Crash injection for tests (``REPRO_SERVE_CRASH`` env var):
 ``after-journal`` hard-exits once the pending requests are journaled but
 before solving; ``before-result`` hard-exits after solving but before any
@@ -48,8 +60,10 @@ both, ``resume`` must recover every in-flight job.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -149,8 +163,14 @@ class JobQueue:
         self.admission = admission
         self.retention = retention if retention is not None else RetentionPolicy()
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self._policy_path: Path | None = None
         if self.journal_dir is not None:
             self.journal_dir.mkdir(parents=True, exist_ok=True)
+            self._policy_path = self.journal_dir / "policy_history.json"
+            if self._policy_path.exists():
+                hist = self.session.workspace.policy_history
+                hist.merge_dict(json.loads(self._policy_path.read_text()))
+                hist.dirty = False
         self._jobs: dict[str, Job] = {}
         self._counter = 0
         self._lock = threading.RLock()
@@ -179,6 +199,14 @@ class JobQueue:
             )
 
     def submit(self, request: SolveRequest) -> Job:
+        # Server-side receipt stamp: deadlines count from the moment the
+        # server first takes the request, on the server's monotonic
+        # clock.  A client's wall-clock `submitted_at` (stored as
+        # `client_submitted_at`) is trace-only and never enters this
+        # arithmetic; an already-present server stamp (e.g. a test
+        # simulating a long front-end wait) is preserved.
+        if request.submitted_at is None:
+            request.submitted_at = time.monotonic()
         with self._lock:
             job_id = request.job_id
             if job_id is None:
@@ -216,8 +244,10 @@ class JobQueue:
         recorded = meta.get("request", {})
         current = _request_journal_parts(request)[1]
         # return_x is presentation-only; priority/deadline_s are
-        # scheduling hints — a retry with a fresh deadline is the same job.
-        ignore = ("return_x", "priority", "deadline_s")
+        # scheduling hints, and submitted_at is the client's trace-only
+        # wall clock — a retry with a fresh deadline or a new client
+        # timestamp is the same job.
+        ignore = ("return_x", "priority", "deadline_s", "submitted_at")
         if {k: v for k, v in recorded.items() if k not in ignore} != \
            {k: v for k, v in current.items() if k not in ignore}:
             raise ProtocolError(
@@ -316,6 +346,10 @@ class JobQueue:
 
         if self.journal_dir is not None and self.retention.enabled:
             self.compact()
+        if self._policy_path is not None:
+            hist = self.session.workspace.policy_history
+            if hist.dirty:
+                hist.save(self._policy_path)
         return claimed
 
     def _journal_result(self, job: Job) -> None:

@@ -43,6 +43,7 @@ import scipy.sparse as sp
 
 from repro import kernels, obs
 from repro.fem.model import ContactStructure
+from repro.policy import PolicyHistory, SolverPolicy
 from repro.precond import DiagonalScaling, bic, sb_bic0, scalar_ic0
 from repro.precond.icfact import record_cache_eviction, setup_counters
 from repro.resilience.checkpoint import fingerprint_arrays
@@ -151,6 +152,11 @@ class Workspace:
         self.structures = LRUCache(structure_capacity or capacity, "structure")
         self.symbolics = LRUCache(symbolic_capacity or capacity, "symbolic")
         self.factors = LRUCache(factor_capacity or capacity, "factor")
+        # learned (fingerprint -> family -> measured cost) records; fed by
+        # every policy-resolved solve, read by learned-mode decisions, and
+        # persisted next to the queue journal so repeat traffic across
+        # restarts keeps what earlier traffic learned
+        self.policy_history = PolicyHistory()
 
     # -- structure + operator --------------------------------------------
 
@@ -267,8 +273,13 @@ class SolverSession:
     """
 
     def __init__(self, capacity: int = 8, warm_kernels: bool = True,
-                 **tier_capacities) -> None:
+                 policy_mode: str = "learned", **tier_capacities) -> None:
         self.workspace = Workspace(capacity, **tier_capacities)
+        # resolves precond="auto" requests; shares the workspace history so
+        # learned decisions see every outcome this session has recorded
+        self.policy = SolverPolicy(
+            policy_mode, history=self.workspace.policy_history
+        )
         self.kernel_backend = kernels.active_backend()
         self.warmup_seconds = float(kernels.warmup()["seconds"]) if warm_kernels else 0.0
         self.jobs_served = 0
@@ -323,6 +334,18 @@ class SolverSession:
                     s, content, s_event = self.workspace.structure(req.model, req.scale)
                 fp = self.workspace.operator_fingerprint(content, req.penalty)
                 rhs = _rhs_array(req, s)
+                precond, decision = req.precond, None
+                if precond == "auto":
+                    # Resolve to a concrete family now so grouping (and
+                    # the factor cache) see real preconditioner names.
+                    # The probe reads the materialized operator, so it
+                    # runs under the structure lock like any other
+                    # ``system`` access; the policy caches it per
+                    # operator fingerprint, so repeat traffic pays once.
+                    with self._lock_for(("structure", req.model, req.scale)):
+                        a = s.system(req.penalty)
+                        decision = self.policy.decide(a, s.groups, cache_key=fp)
+                    precond = decision.order[0]
             except Exception as exc:  # malformed request must not kill the batch
                 reason = (
                     FailureReason.POISONED_PAYLOAD.value
@@ -335,6 +358,7 @@ class SolverSession:
             prepared[i] = {
                 "req": req, "job_id": job_id, "s": s, "fp": fp,
                 "rhs": rhs, "s_event": s_event,
+                "precond": precond, "decision": decision,
             }
         return prepared, responses
 
@@ -357,7 +381,7 @@ class SolverSession:
             if p is None:
                 continue
             req: SolveRequest = p["req"]
-            key = (p["fp"], req.precond, req.eps, req.max_iter)
+            key = (p["fp"], p["precond"], req.eps, req.max_iter)
             if req.chaos is not None:
                 key += (("chaos", p["job_id"]),)
             groups.setdefault(key, []).append(i)
@@ -451,6 +475,14 @@ class SolverSession:
             return
 
         wall = time.perf_counter() - t0
+        decision = first.get("decision")
+        if decision is not None:
+            # one outcome per coalesced group: the policy chose once, the
+            # group paid once
+            self.policy.record_outcome(
+                decision, precond,
+                seconds=wall, converged=all(conv), iterations=int(total_iters),
+            )
         after = setup_counters()
         setups = {k: after[k] - before[k] for k in after}
         cache = {"structure": first["s_event"], "factor": f_event}
@@ -496,4 +528,8 @@ class SolverSession:
             "warmup_seconds": self.warmup_seconds,
             "jobs_served": self.jobs_served,
             "caches": self.workspace.stats(),
+            "policy": {
+                "mode": self.policy.mode,
+                "history_classes": len(self.workspace.policy_history),
+            },
         }

@@ -113,6 +113,26 @@ class TestIterationTime:
                 t = estimate_iteration_time(c, EARTH_SIMULATOR, model, nodes)
                 assert 0.0 < t.work_ratio_percent <= 100.0
 
+    def test_degenerate_census_reports_zero_not_division_error(self):
+        """Regression: a census with no phases (or all-zero loop
+        lengths) has zero elapsed time; ``work_ratio_percent`` and
+        ``gflops_total`` used to raise ZeroDivisionError on it.  The
+        policy layer's cost probes can legitimately produce such a
+        census, so the degenerate case must report 0.0."""
+        empty = SolverOpCensus(ndof_node=0, phases=[])
+        t = estimate_iteration_time(empty, EARTH_SIMULATOR, "hybrid", 1)
+        assert t.total_seconds == 0.0
+        assert t.work_ratio_percent == 0.0
+        assert t.gflops_total() == 0.0
+        # all-zero loop lengths behave identically
+        zeros = SolverOpCensus(
+            ndof_node=0,
+            phases=[VectorWork(np.zeros(3), 2.0)],
+        )
+        tz = estimate_iteration_time(zeros, EARTH_SIMULATOR, "hybrid", 1)
+        assert tz.work_ratio_percent == 0.0
+        assert tz.gflops_total() == 0.0
+
     def test_unknown_model_rejected(self):
         c = StructuredSpec(8, 8, 8).census()
         with pytest.raises(ValueError):

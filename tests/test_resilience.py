@@ -209,6 +209,69 @@ class TestResilientSolver:
         second_stage_iters = res.iterations
         assert second_stage_iters <= cold.iterations
 
+    def test_mutating_failed_rung_result_does_not_corrupt_warm_restart(
+        self, block_problem_small, monkeypatch
+    ):
+        """Regression: the warm-restart iterate used to alias the failed
+        rung's ``res.x`` — the same array handed out on the returned
+        CGResult — so any caller mutating a failed rung's result (a
+        history recorder, a diagnostics dump) silently corrupted the
+        next rung's ``x0``.  It must be copied on capture."""
+        import repro.resilience.resilient as rmod
+
+        p = block_problem_small
+        real_cg = rmod.cg_solve
+        state = {"prev": None, "x0_seen": []}
+
+        def hostile_cg(a, b, m=None, **kw):
+            # a consumer of the previous rung's result clobbers it
+            # between rungs — exactly what a caller holding the returned
+            # CGResult may legally do
+            if state["prev"] is not None:
+                state["prev"].x[:] = 999.0
+            x0 = kw.get("x0")
+            state["x0_seen"].append(None if x0 is None else np.asarray(x0).copy())
+            res = real_cg(a, b, m, **kw)
+            state["prev"] = res
+            return res
+
+        monkeypatch.setattr(rmod, "cg_solve", hostile_cg)
+        ladder = [
+            FallbackStage("flaky", lambda: _PoisonAfter(bic(p.a, fill_level=0), 8)),
+            FallbackStage("BIC(0)", lambda: bic(p.a, fill_level=0)),
+        ]
+        res = ResilientSolver(p.a, ladder).solve(p.b)
+        assert res.converged
+        assert len(state["x0_seen"]) == 2
+        x0_second = state["x0_seen"][1]
+        assert x0_second is not None  # warm restart did happen
+        assert not np.any(x0_second == 999.0), (
+            "second rung's x0 aliases the failed rung's result array — "
+            "the warm-restart iterate must be copied on capture"
+        )
+
+    def test_on_stage_result_callback_owns_the_result(self, block_problem_small):
+        """The per-rung outcome hook hands the callback the CGResult to
+        keep; mutating it (even zeroing ``x``) must not disturb the
+        chain's warm restart or the final answer."""
+        p = block_problem_small
+        seen = []
+
+        def recorder(stage_name, res):
+            seen.append((stage_name, res.converged, res.iterations))
+            if not res.converged:
+                res.x[:] = np.nan  # the callback owns this object
+
+        ladder = [
+            FallbackStage("flaky", lambda: _PoisonAfter(bic(p.a, fill_level=0), 8)),
+            FallbackStage("BIC(0)", lambda: bic(p.a, fill_level=0)),
+        ]
+        res = ResilientSolver(p.a, ladder, on_stage_result=recorder).solve(p.b)
+        assert res.converged
+        assert np.isfinite(res.x).all()
+        assert [s for s, _, _ in seen] == ["flaky", "BIC(0)"]
+        assert [c for _, c, _ in seen] == [False, True]
+
     def test_all_stages_failing_reports_reason(self):
         def explode():
             raise np.linalg.LinAlgError("nope")
@@ -238,6 +301,38 @@ class TestResilientSolver:
         assert any("IC(0)" in n for n in names)
         res = ResilientSolver(a, default_ladder(a)).solve(rng.normal(size=10))
         assert res.converged
+
+    def test_shared_bic_cache_refactors_back_across_repeated_solves(
+        self, block_problem_small
+    ):
+        """The default ladder's BIC-family rungs share one cached
+        factorization, refactored in place per rung.  After a solve that
+        escalated to a shifted rung, a *second* solve with the same
+        ladder list must refactor the cache back to shift 0 for the
+        plain rung — not reuse the stale shifted pivots."""
+        p = block_problem_small
+        ladder = default_ladder(p.a)  # no groups: plain BIC(0) first
+        plain = next(s for s in ladder if s.name == "BIC(0)")
+        shifted = next(s for s in ladder if "shift" in s.name)
+
+        # first solve escalates through every rung (iteration cap no rung
+        # can meet), leaving the shared cache at the largest shift
+        first = ResilientSolver(p.a, ladder, max_iter=2).solve(p.b)
+        assert not first.converged
+
+        m_shifted = shifted.build()
+        assert m_shifted._shift > 0.0  # cache really is stale-shifted
+        m_plain = plain.build()
+        assert m_plain is m_shifted  # one shared factorization...
+        assert m_plain._shift == 0.0  # ...refactored back, not reused stale
+
+        # second solve, same ladder list: the plain rung must behave
+        # exactly like a fresh unshifted factorization
+        second = ResilientSolver(p.a, ladder).solve(p.b)
+        fresh = cg_solve(p.a, p.b, bic(p.a, fill_level=0))
+        assert second.converged
+        assert second.iterations == fresh.iterations
+        assert np.array_equal(second.x, fresh.x)
 
     def test_chain_time_budget(self, block_problem_small):
         p = block_problem_small

@@ -150,6 +150,49 @@ class TestAdmission:
         assert job.response.reason == "request_timeout"
         assert admission.deadline_expired == 1
 
+    def test_queue_wait_counts_from_server_receipt(self, session):
+        """Regression: admission used to restamp ``submitted_at``
+        unconditionally, resetting the deadline clock of a request that
+        had already waited at the server — a job 10s past a 5s deadline
+        would dispatch anyway.  The receipt stamp must be set once and
+        preserved through screening."""
+        admission = AdmissionController(AdmissionPolicy())
+        queue = JobQueue(session=session, admission=admission)
+        req = _req(job_id="adm-stale", deadline_s=5.0)
+        # simulate a request the server took 10s ago (front-end queueing)
+        req.submitted_at = time.monotonic() - 10.0
+        job = queue.submit(req)
+        assert job.state == "pending"  # refusal happens at dispatch
+        assert req.submitted_at < time.monotonic() - 9.0  # not restamped
+        queue.process()
+        assert job.state == "rejected"
+        assert job.response.reason == "request_timeout"
+        assert admission.deadline_expired == 1
+
+    def test_client_submitted_at_is_trace_only(self, session):
+        """A client's wall-clock ``submitted_at`` rides the wire for
+        tracing but never enters deadline arithmetic: wall clocks share
+        no epoch with the server's monotonic clock."""
+        wall = 1.7e9  # epoch seconds, wildly different from monotonic
+        req = SolveRequest.from_dict({
+            "id": "adm-wall", "model": "block", "scale": SCALE,
+            "penalty": 1e4, "precond": "sbbic0",
+            "deadline_s": 30.0, "submitted_at": wall,
+        })
+        assert req.client_submitted_at == wall
+        assert req.submitted_at is None  # server stamp untouched
+        assert req.to_dict()["submitted_at"] == wall  # journaled for tracing
+        queue = JobQueue(
+            session=session, admission=AdmissionController(AdmissionPolicy())
+        )
+        job = queue.submit(req)
+        # deadline budget is measured from server receipt, so the huge
+        # client/server clock skew must not have consumed any of it
+        remaining = req.remaining_s(time.monotonic())
+        assert remaining == pytest.approx(30.0, abs=1.0)
+        queue.process()
+        assert job.state == "done" and job.response.converged
+
     def test_default_deadline_stamped_at_admission(self, session):
         admission = AdmissionController(
             AdmissionPolicy(default_deadline_s=30.0)
